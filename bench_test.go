@@ -1,0 +1,376 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/iis"
+	"repro/internal/impossibility"
+	"repro/internal/labelling"
+	"repro/internal/memory"
+	"repro/internal/msgpass"
+	"repro/internal/sched"
+	"repro/internal/task"
+)
+
+// Each benchmark regenerates one experiment of the DESIGN.md index
+// (E1..E12); custom metrics report the series the paper's figures plot.
+
+// BenchmarkFig1Classification (E1): the Figure 1 verdict grid.
+func BenchmarkFig1Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for n := 2; n <= 9; n++ {
+			for t := 1; t < n; t++ {
+				if _, err := core.Classify(core.Model{N: n, T: t}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAlg1Enumeration (E2): exhaustive interleavings of Algorithm 1
+// at k = 3 (Figure 2's object, one size down to keep iterations cheap).
+func BenchmarkAlg1Enumeration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := agreement.ExploreAlg1(3, [2]uint64{0, 1}, func(ar *agreement.Alg1Run) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(runs), "executions")
+	}
+}
+
+// BenchmarkAlg1Steps (E2/E10): Algorithm 1 step complexity grows
+// linearly in 1/ε.
+func BenchmarkAlg1Steps(b *testing.B) {
+	for _, k := range []int{8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				ar, err := agreement.RunAlg1(k, [2]uint64{0, 1}, &sched.RoundRobin{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = ar.Result.Steps[0]
+			}
+			b.ReportMetric(float64(steps), "steps/proc")
+		})
+	}
+}
+
+// BenchmarkAlg2Universal (E3): one run of the universal construction on
+// 3-bit registers.
+func BenchmarkAlg2Universal(b *testing.B) {
+	tk := task.DiscreteEpsAgreement(4)
+	plan, err := tk.BuildPlan(tk.Outputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, _, err := task.RunAlg2(plan, task.Pair{0, 1}, sched.NewRandom(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := task.CheckRun(tk, task.Pair{0, 1}, sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPigeonholeBound (E4): the register-content collision search.
+func BenchmarkPigeonholeBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := impossibility.WorstCollision(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(c.Gap()), "gap")
+	}
+}
+
+// BenchmarkPipeline (E5): the four Theorem 1.3 stages.
+func BenchmarkPipeline(b *testing.B) {
+	stages := []struct {
+		stage  msgpass.PipelineStage
+		n, t   int
+		rounds int
+	}{
+		{msgpass.StageDirect, 5, 2, 3},
+		{msgpass.StageABDComplete, 5, 2, 2},
+		{msgpass.StageABDRing, 5, 2, 2},
+		{msgpass.StageBitRing, 3, 1, 1},
+	}
+	for _, s := range stages {
+		b.Run(s.stage.String(), func(b *testing.B) {
+			inputs := make([]int64, s.n)
+			for i := range inputs {
+				inputs[i] = int64(i % 2)
+			}
+			var steps int
+			for i := 0; i < b.N; i++ {
+				pr, err := msgpass.RunPipeline(msgpass.PipelineConfig{
+					Stage: s.stage, N: s.n, T: s.t, Rounds: s.rounds,
+					Inputs: inputs, Seed: int64(i), Scheduler: sched.NewRandom(int64(i)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := pr.Check(inputs, s.rounds); err != nil {
+					b.Fatal(err)
+				}
+				steps = pr.Res.TotalSteps
+			}
+			b.ReportMetric(float64(steps), "steps")
+		})
+	}
+}
+
+// BenchmarkIIS1Bit (E6): Algorithm 4 over a random IIS schedule.
+func BenchmarkIIS1Bit(b *testing.B) {
+	u := iis.NewUniverse(2, 2, iis.BinaryInputVectors(2), iis.CollectOutcomes(2))
+	iters := iis.Alg4Iterations(u)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iis.RunAlg4(u, []int{0, 1}, iis.RandomSchedule(2, iters, rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(iters), "iterations")
+}
+
+// BenchmarkISComplexGrowth (E7): enumerating the 3^r-execution complex.
+func BenchmarkISComplexGrowth(b *testing.B) {
+	for _, r := range []int{4, 6} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			var configs int
+			for i := 0; i < b.N; i++ {
+				u := iis.NewUniverse(2, r, [][]int{{0, 1}}, iis.ISOutcomes(2))
+				configs = len(u.Configs[r])
+			}
+			b.ReportMetric(float64(configs), "configs")
+		})
+	}
+}
+
+// BenchmarkLabelCounts (E8): Lemma 8.1's 3^r+1 label enumeration.
+func BenchmarkLabelCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		labels, err := labelling.AllLabels(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(labels)), "labels")
+	}
+}
+
+// BenchmarkAlg6Executions (E9): the simulated-complex value map (Ω(2^R)
+// path vertices from constant-size registers).
+func BenchmarkAlg6Executions(b *testing.B) {
+	for _, r := range []int{6, 8, 10} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			var l int
+			for i := 0; i < b.N; i++ {
+				vm, err := labelling.BuildValueMap(labelling.Alg6Config{Delta: 2, R: r})
+				if err != nil {
+					b.Fatal(err)
+				}
+				l = vm.Len
+			}
+			b.ReportMetric(float64(l), "path-vertices")
+		})
+	}
+}
+
+// BenchmarkAgreementStepComplexity (E10): the Θ(1/ε) vs O(log 1/ε)
+// separation at matched precision.
+func BenchmarkAgreementStepComplexity(b *testing.B) {
+	for _, r := range []int{6, 8, 10} {
+		fa, err := labelling.NewFastAgreement(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k := (fa.EpsDen() - 1) / 2
+		b.Run(fmt.Sprintf("fast/R=%d", r), func(b *testing.B) {
+			var steps int
+			for i := 0; i < b.N; i++ {
+				fr, err := fa.Run([2]uint64{0, 1}, &sched.RoundRobin{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = fr.Result.Steps[0]
+			}
+			b.ReportMetric(float64(steps), "steps/proc")
+		})
+		b.Run(fmt.Sprintf("alg1/eps=1over%d", fa.EpsDen()), func(b *testing.B) {
+			var steps int
+			for i := 0; i < b.N; i++ {
+				ar, err := agreement.RunAlg1(k, [2]uint64{0, 1}, &sched.RoundRobin{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = ar.Result.Steps[0]
+			}
+			b.ReportMetric(float64(steps), "steps/proc")
+		})
+	}
+}
+
+// BenchmarkRingRouting (E11): broadcast + quorum over the t-augmented
+// ring (one ABD write).
+func BenchmarkRingRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pr, err := msgpass.RunPipeline(msgpass.PipelineConfig{
+			Stage: msgpass.StageABDRing, N: 7, T: 3, Rounds: 1,
+			Inputs: []int64{0, 1, 0, 1, 0, 1, 0}, Seed: int64(i),
+			Scheduler: sched.NewRandom(int64(i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pr.MsgsSent), "msgs")
+	}
+}
+
+// BenchmarkMidpointConvergence (E12): one-round complexes and contraction.
+func BenchmarkMidpointConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		u := iis.NewUniverse(3, 2, iis.BinaryInputVectors(3), iis.CollectOutcomes(3))
+		num, den := u.MaxRoundSpread(2)
+		if num*4 > den {
+			b.Fatal("contraction violated")
+		}
+	}
+}
+
+// BenchmarkAlg2FastSpeedup (E13): classic vs accelerated universal
+// construction at growing path lengths.
+func BenchmarkAlg2FastSpeedup(b *testing.B) {
+	for _, l := range []int{16, 40, 80} {
+		tk := task.DiscreteEpsAgreement(l)
+		plan, err := tk.BuildPlan(tk.Outputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fa, err := task.FastAgreementFor(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("classic/L=%d", plan.L), func(b *testing.B) {
+			var steps int
+			for i := 0; i < b.N; i++ {
+				_, res, err := task.RunAlg2(plan, task.Pair{0, 1}, &sched.RoundRobin{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = res.Steps[0]
+			}
+			b.ReportMetric(float64(steps), "steps/proc")
+		})
+		b.Run(fmt.Sprintf("fast/L=%d", plan.L), func(b *testing.B) {
+			var steps int
+			for i := 0; i < b.N; i++ {
+				sys := task.NewAlg2FastSystem(plan, fa)
+				res, err := sched.Run(sched.Config{Scheduler: &sched.RoundRobin{}}, []sched.ProcFunc{
+					sys.Proc(0, 0), sys.Proc(1, 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = res.Steps[0]
+			}
+			b.ReportMetric(float64(steps), "steps/proc")
+		})
+	}
+}
+
+// BenchmarkMidpointSharedMemory (E14): n-process ε-agreement over
+// IS-from-read/write objects.
+func BenchmarkMidpointSharedMemory(b *testing.B) {
+	inputs := []uint64{0, 1, 1, 0}
+	for i := 0; i < b.N; i++ {
+		mr, err := agreement.RunMidpoint(4, 3, inputs, sched.NewRandom(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := mr.Check(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlg6DeltaAblation: the Δ trade-off — longer simulated paths
+// for wider registers.
+func BenchmarkAlg6DeltaAblation(b *testing.B) {
+	for _, delta := range []int{2, 3} {
+		cfg := labelling.Alg6Config{Delta: delta, R: 7}
+		b.Run(fmt.Sprintf("delta=%d/bits=%d", delta, cfg.RegisterBits()), func(b *testing.B) {
+			var l int
+			for i := 0; i < b.N; i++ {
+				vm, err := labelling.BuildValueMap(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				l = vm.Len
+			}
+			b.ReportMetric(float64(l), "path-vertices")
+		})
+	}
+}
+
+// BenchmarkExperimentTables regenerates the cheap experiment tables
+// end to end (the expensive ones have dedicated benchmarks above).
+func BenchmarkExperimentTables(b *testing.B) {
+	reg := experiments.Registry()
+	for _, id := range []string{"E1", "E7", "E8", "E11", "E12"} {
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reg[id](); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedHandshake measures the raw cost of one scheduler-gated
+// step (the simulator's unit of work).
+func BenchmarkSchedHandshake(b *testing.B) {
+	procs := []sched.ProcFunc{func(p *sched.Proc) error {
+		for i := 0; i < 1000; i++ {
+			p.Step()
+		}
+		return nil
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Run(sched.Config{Scheduler: sched.Lowest{}}, procs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1000, "steps/op")
+}
+
+// BenchmarkMemorySnapshot measures the atomic snapshot primitive.
+func BenchmarkMemorySnapshot(b *testing.B) {
+	m := memory.New(8, 0)
+	procs := []sched.ProcFunc{func(p *sched.Proc) error {
+		pm := memory.Bind(p, m)
+		for i := 0; i < 100; i++ {
+			_ = pm.Snapshot()
+		}
+		return nil
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Run(sched.Config{Scheduler: sched.Lowest{}}, procs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

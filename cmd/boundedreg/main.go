@@ -1,0 +1,63 @@
+// Command boundedreg runs the reproduction's experiments by id and prints
+// the paper-style tables. With no arguments it lists the available
+// experiments; `-run all` runs everything (same as cmd/figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "boundedreg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("boundedreg", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiments")
+	runID := fs.String("run", "", "experiment id (E1..E12), comma-separated, or 'all'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := experiments.Registry()
+	if *list || *runID == "" {
+		fmt.Println("experiments (run with -run <id>):")
+		for _, id := range experiments.IDs() {
+			tab, err := reg[id]()
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Printf("  %-4s %s\n", id, tab.Title)
+		}
+		return nil
+	}
+
+	var ids []string
+	if *runID == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := reg[id]; !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		tab, err := reg[id]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(tab.Format())
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCommaSeparated(t *testing.T) {
+	if err := run([]string{"-run", "E1, E8"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+// Command figures regenerates the data behind every figure and
+// theorem-level claim of the paper in one run (experiments E1..E12 of
+// DESIGN.md), printing one table per experiment.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	reg := experiments.Registry()
+	for _, id := range experiments.IDs() {
+		tab, err := reg[id]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(tab.Format())
+	}
+	return nil
+}

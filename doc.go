@@ -1,0 +1,11 @@
+// Package repro reproduces "The Computational Power of Distributed
+// Shared-Memory Models with Bounded-Size Registers" (Delporte,
+// Fauconnier, Fraigniaud, Rajsbaum, Travers; PODC 2024,
+// arXiv:2309.13977) as an executable Go library.
+//
+// The model, every algorithm of the paper (Algorithms 1-6), every
+// substrate they depend on, and one experiment per figure/theorem live
+// under internal/; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each experiment's series.
+package repro

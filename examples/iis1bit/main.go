@@ -1,0 +1,47 @@
+// IIS with 1-bit registers: Algorithm 4 (Theorem 1.4) simulates the
+// full-information iterated-collect protocol — here solving binary
+// 1/4-agreement — writing a single bit per iteration memory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/iis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	n, k := 2, 2
+	u := iis.NewUniverse(n, k, iis.BinaryInputVectors(n), iis.CollectOutcomes(n))
+	iters := iis.Alg4Iterations(u)
+	fmt.Printf("IC full-information protocol: n=%d, k=%d rounds, %d reachable views\n", n, k, u.NumViews())
+	fmt.Printf("Algorithm 4 simulation: N = %d one-bit immediate-snapshot iterations\n\n", iters)
+
+	rng := rand.New(rand.NewSource(2))
+	for _, inputs := range [][]int{{0, 1}, {1, 0}, {1, 1}} {
+		schedule := iis.RandomSchedule(n, iters, rng)
+		res, err := iis.RunAlg4(u, inputs, schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("inputs %v:", inputs)
+		for i, id := range res.Final {
+			num, den := u.Estimate(id)
+			fmt.Printf("  p%d decides %d/%d", i, num, den)
+		}
+		sn, sd := u.EstimateSpread(res.Final)
+		fmt.Printf("   (spread %d/%d ≤ 1/%d, config IC-reachable)\n", sn, sd, 1<<k)
+	}
+
+	fmt.Println("\nevery simulated configuration is validated against the")
+	fmt.Println("enumerated IC protocol complex (Lemma 7.1) — 1-bit registers")
+	fmt.Println("suffice in the iterated model, unlike the non-iterated one.")
+	return nil
+}

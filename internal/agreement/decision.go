@@ -1,0 +1,133 @@
+// Package agreement implements the approximate-agreement protocols of the
+// paper: Algorithm 1 (2-process binary ε-agreement on 1-bit registers,
+// §5.1), the generic midpoint protocol behind Lemma 2.2, and the checkers
+// used by every experiment to validate agreement, validity, and output
+// domains exactly (in rational arithmetic, no floats).
+package agreement
+
+import (
+	"fmt"
+)
+
+// Decision is an exact rational output y = Num/Den ∈ [0,1] of an
+// approximate-agreement protocol. All decisions of one protocol run share
+// the same denominator (2k+1 for Algorithm 1, 3^r for the IIS protocols).
+type Decision struct {
+	Num int
+	Den int
+}
+
+// Dec builds a decision num/den.
+func Dec(num, den int) Decision { return Decision{Num: num, Den: den} }
+
+// Float returns the decision as a float64 (for display only; comparisons
+// use exact arithmetic).
+func (d Decision) Float() float64 { return float64(d.Num) / float64(d.Den) }
+
+// String formats the decision as "num/den".
+func (d Decision) String() string { return fmt.Sprintf("%d/%d", d.Num, d.Den) }
+
+// InUnitInterval reports 0 ≤ d ≤ 1.
+func (d Decision) InUnitInterval() bool { return d.Den > 0 && d.Num >= 0 && d.Num <= d.Den }
+
+// IsZero reports d == 0 and IsOne reports d == 1.
+func (d Decision) IsZero() bool { return d.Num == 0 }
+
+// IsOne reports d == 1.
+func (d Decision) IsOne() bool { return d.Num == d.Den }
+
+// WithinEps reports |a - b| ≤ epsNum/epsDen, exactly.
+func WithinEps(a, b Decision, epsNum, epsDen int) bool {
+	// |a.Num/a.Den - b.Num/b.Den| ≤ epsNum/epsDen
+	// ⇔ |a.Num·b.Den - b.Num·a.Den| · epsDen ≤ epsNum · a.Den · b.Den
+	lhs := int64(a.Num)*int64(b.Den) - int64(b.Num)*int64(a.Den)
+	if lhs < 0 {
+		lhs = -lhs
+	}
+	return lhs*int64(epsDen) <= int64(epsNum)*int64(a.Den)*int64(b.Den)
+}
+
+// CheckBinaryEps validates the binary ε-agreement task specification for
+// the decisions of the correct processes (§2 "Approximate Agreement"):
+//
+//  1. every output lies in [0,1];
+//  2. if all inputs are the same value x ∈ {0,1}, every output equals x;
+//  3. any two outputs are at most ε = epsNum/epsDen apart.
+//
+// inputs[i] and decided[i] describe process i; only indices with
+// decided[i] == true are checked as outputs. It returns a descriptive
+// error on the first violation.
+func CheckBinaryEps(inputs []uint64, outs []Decision, decided []bool, epsNum, epsDen int) error {
+	allSame := true
+	var first uint64
+	for i, x := range inputs {
+		if x > 1 {
+			return fmt.Errorf("input of process %d is %d, want binary", i, x)
+		}
+		if i == 0 {
+			first = x
+		} else if x != first {
+			allSame = false
+		}
+	}
+	for i, ok := range decided {
+		if !ok {
+			continue
+		}
+		d := outs[i]
+		if !d.InUnitInterval() {
+			return fmt.Errorf("process %d decided %v outside [0,1]", i, d)
+		}
+		if allSame {
+			want := Dec(int(first)*d.Den, d.Den)
+			if d != want {
+				return fmt.Errorf("validity: all inputs %d but process %d decided %v", first, i, d)
+			}
+		}
+		for j := i + 1; j < len(decided); j++ {
+			if !decided[j] {
+				continue
+			}
+			if !WithinEps(d, outs[j], epsNum, epsDen) {
+				return fmt.Errorf("agreement: |%v - %v| > %d/%d (procs %d,%d)",
+					d, outs[j], epsNum, epsDen, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckConsensus validates binary consensus for the correct processes:
+// every decided value is some process's input, and all decided values are
+// identical. It is used as the reduction target in the Theorem 1.1
+// experiment (Claim 4.1) and as a negative control for the task solver.
+func CheckConsensus(inputs []uint64, outs []uint64, decided []bool) error {
+	has := map[uint64]bool{}
+	for _, x := range inputs {
+		has[x] = true
+	}
+	firstSet := false
+	var first uint64
+	for i, ok := range decided {
+		if !ok {
+			continue
+		}
+		if !has[outs[i]] {
+			return fmt.Errorf("consensus validity: process %d decided %d, not an input", i, outs[i])
+		}
+		if !firstSet {
+			first, firstSet = outs[i], true
+		} else if outs[i] != first {
+			return fmt.Errorf("consensus agreement: decisions %d and %d differ", first, outs[i])
+		}
+	}
+	return nil
+}
+
+func asWord(v any) (uint64, error) {
+	w, ok := v.(uint64)
+	if !ok {
+		return 0, fmt.Errorf("agreement: register holds %T (%v), want uint64", v, v)
+	}
+	return w, nil
+}

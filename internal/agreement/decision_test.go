@@ -1,0 +1,107 @@
+package agreement
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWithinEpsSymmetric(t *testing.T) {
+	f := func(an, bn uint8, den uint8, en uint8) bool {
+		d := int(den%50) + 1
+		a := Dec(int(an)%(d+1), d)
+		b := Dec(int(bn)%(d+1), d)
+		return WithinEps(a, b, int(en%10), 10) == WithinEps(b, a, int(en%10), 10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinEpsReflexive(t *testing.T) {
+	f := func(n, den uint8) bool {
+		d := int(den%50) + 1
+		a := Dec(int(n)%(d+1), d)
+		return WithinEps(a, a, 0, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinEpsScaleInvariant(t *testing.T) {
+	// Multiplying numerator and denominator by a constant changes nothing.
+	f := func(n, den, scale uint8) bool {
+		d := int(den%50) + 1
+		s := int(scale%5) + 1
+		a := Dec(int(n)%(d+1), d)
+		b := Dec(a.Num*s, a.Den*s)
+		return WithinEps(a, b, 0, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecisionPredicates(t *testing.T) {
+	if !Dec(0, 9).IsZero() || Dec(1, 9).IsZero() {
+		t.Error("IsZero")
+	}
+	if !Dec(9, 9).IsOne() || Dec(8, 9).IsOne() {
+		t.Error("IsOne")
+	}
+	if !Dec(5, 9).InUnitInterval() || Dec(10, 9).InUnitInterval() || Dec(-1, 9).InUnitInterval() {
+		t.Error("InUnitInterval")
+	}
+	if Dec(1, 3).String() != "1/3" {
+		t.Errorf("String = %q", Dec(1, 3).String())
+	}
+	if Dec(1, 2).Float() != 0.5 {
+		t.Error("Float")
+	}
+}
+
+func TestCheckBinaryEpsRejections(t *testing.T) {
+	dec := []bool{true, true}
+	tests := []struct {
+		name   string
+		inputs []uint64
+		outs   []Decision
+		ok     bool
+	}{
+		{"valid mixed", []uint64{0, 1}, []Decision{Dec(4, 9), Dec(5, 9)}, true},
+		{"agreement violated", []uint64{0, 1}, []Decision{Dec(2, 9), Dec(5, 9)}, false},
+		{"validity violated", []uint64{1, 1}, []Decision{Dec(8, 9), Dec(8, 9)}, false},
+		{"valid equal inputs", []uint64{1, 1}, []Decision{Dec(9, 9), Dec(9, 9)}, true},
+		{"out of range", []uint64{0, 1}, []Decision{Dec(10, 9), Dec(9, 9)}, false},
+		{"non-binary input", []uint64{0, 2}, []Decision{Dec(0, 9), Dec(0, 9)}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckBinaryEps(tc.inputs, tc.outs, dec, 1, 9)
+			if (err == nil) != tc.ok {
+				t.Errorf("err = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestCheckBinaryEpsSkipsUndecided(t *testing.T) {
+	// Undecided slots are ignored even if their Decision field is junk.
+	err := CheckBinaryEps(
+		[]uint64{0, 1},
+		[]Decision{Dec(4, 9), Dec(77, 9)},
+		[]bool{true, false}, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlg1DenAndSteps(t *testing.T) {
+	f := func(k uint8) bool {
+		kk := int(k%100) + 1
+		return Alg1Den(kk) == 2*kk+1 && Alg1MaxSteps(kk) == 2*kk+3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package agreement
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/snapshot"
+)
+
+// Midpoint is the n-process wait-free binary ε-agreement of Lemma 2.2 in
+// the non-iterated shared-memory model: `rounds` rounds, each built on a
+// fresh one-shot immediate-snapshot object (Borowsky-Gafni, Lemma 2.3 —
+// package snapshot implements it from plain reads and writes). In round
+// r a process announces its estimate through the IS object and adopts
+// the midpoint of the estimates it sees; because IS views are totally
+// ordered by inclusion, the estimate spread at least halves per round,
+// so the decision solves 1/2^rounds-agreement.
+//
+// With unbounded registers the r per-round objects are legitimately
+// separate (a single register can hold all of a process's fields, §2) —
+// which is exactly the unboundedness Theorem 1.1 shows cannot be
+// dispensed with when a majority may crash.
+type Midpoint struct {
+	N      int
+	Rounds int
+	mems   []*memory.Shared
+}
+
+// NewMidpoint allocates the per-round immediate-snapshot memories.
+func NewMidpoint(n, rounds int) *Midpoint {
+	m := &Midpoint{N: n, Rounds: rounds, mems: make([]*memory.Shared, rounds)}
+	for r := range m.mems {
+		m.mems[r] = memory.New(n, 0)
+	}
+	return m
+}
+
+// estCell carries a round estimate through the IS object.
+type estCell struct {
+	Num int
+}
+
+// Proc returns process me's code with the given binary input; the
+// decision (denominator 2^Rounds) is stored through out.
+func (mp *Midpoint) Proc(input uint64, out *Decision, decided *bool) sched.ProcFunc {
+	return func(p *sched.Proc) error {
+		if input > 1 {
+			return fmt.Errorf("midpoint: input %d not binary", input)
+		}
+		est := int(input) // numerator over 2^0
+		for r := 0; r < mp.Rounds; r++ {
+			obj := snapshot.NewImmediate(memory.Bind(p, mp.mems[r]))
+			view, err := obj.WriteSnapshot(estCell{Num: est})
+			if err != nil {
+				return err
+			}
+			lo, hi := 0, 0
+			first := true
+			for _, v := range view {
+				if v == nil {
+					continue
+				}
+				c, ok := v.(estCell)
+				if !ok {
+					return fmt.Errorf("midpoint: IS view holds %T", v)
+				}
+				if first || c.Num < lo {
+					lo = c.Num
+				}
+				if first || c.Num > hi {
+					hi = c.Num
+				}
+				first = false
+			}
+			if first {
+				return fmt.Errorf("midpoint: empty immediate snapshot")
+			}
+			est = lo + hi // midpoint; the denominator doubles
+		}
+		*out = Dec(est, 1<<mp.Rounds)
+		*decided = true
+		return nil
+	}
+}
+
+// MidpointRun is one execution of the protocol.
+type MidpointRun struct {
+	Inputs  []uint64
+	Outs    []Decision
+	Decided []bool
+	Result  *sched.Result
+}
+
+// Check validates binary ε-agreement with ε = 1/2^rounds.
+func (mr *MidpointRun) Check(rounds int) error {
+	return CheckBinaryEps(mr.Inputs, mr.Outs, mr.Decided, 1, 1<<rounds)
+}
+
+// RunMidpoint executes the protocol for all n processes.
+func RunMidpoint(n, rounds int, inputs []uint64, scheduler sched.Scheduler) (*MidpointRun, error) {
+	if len(inputs) != n {
+		return nil, fmt.Errorf("midpoint: %d inputs for n=%d", len(inputs), n)
+	}
+	mp := NewMidpoint(n, rounds)
+	mr := &MidpointRun{
+		Inputs:  append([]uint64(nil), inputs...),
+		Outs:    make([]Decision, n),
+		Decided: make([]bool, n),
+	}
+	procs := make([]sched.ProcFunc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = mp.Proc(inputs[i], &mr.Outs[i], &mr.Decided[i])
+	}
+	res, err := sched.Run(sched.Config{Scheduler: scheduler}, procs)
+	if err != nil {
+		return nil, err
+	}
+	mr.Result = res
+	return mr, nil
+}

@@ -1,0 +1,158 @@
+// Package core is the public facade of the reproduction: the paper's
+// model parameters, the Figure 1 universality classification, and
+// convenience entry points into the constructions of Theorems 1.2-1.4.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/agreement"
+	"repro/internal/labelling"
+	"repro/internal/msgpass"
+	"repro/internal/sched"
+	"repro/internal/task"
+)
+
+// Model describes a t-resilient n-process read/write shared-memory system.
+type Model struct {
+	// N is the number of processes (N ≥ 2).
+	N int
+	// T is the resilience: at most T processes crash (1 ≤ T ≤ N-1).
+	// T = N-1 is the wait-free model.
+	T int
+}
+
+// Validate checks the parameter ranges.
+func (m Model) Validate() error {
+	if m.N < 2 {
+		return fmt.Errorf("core: need n ≥ 2, got %d", m.N)
+	}
+	if m.T < 1 || m.T > m.N-1 {
+		return fmt.Errorf("core: need 1 ≤ t ≤ n-1, got t=%d n=%d", m.T, m.N)
+	}
+	return nil
+}
+
+// WaitFree reports t = n-1.
+func (m Model) WaitFree() bool { return m.T == m.N-1 }
+
+// Regime is a region of Figure 1.
+type Regime int
+
+// The regimes of Figure 1.
+const (
+	// RegimeTwoProc: n = 2, where 1-resilient and wait-free computing
+	// coincide and 1-bit registers are universal (Theorem 1.2).
+	RegimeTwoProc Regime = iota + 1
+	// RegimeMinority: t < n/2, where registers of O(t) bits are
+	// universal (Theorem 1.3).
+	RegimeMinority
+	// RegimeHalf: t = n/2, left open by the paper.
+	RegimeHalf
+	// RegimeMajority: t > n/2 (including wait-free with n > 2), where
+	// bounded registers are not universal for any bound f(n)
+	// (Theorem 1.1).
+	RegimeMajority
+)
+
+// String names the regime.
+func (r Regime) String() string {
+	switch r {
+	case RegimeTwoProc:
+		return "two-process"
+	case RegimeMinority:
+		return "minority-failures"
+	case RegimeHalf:
+		return "half-failures (open)"
+	case RegimeMajority:
+		return "majority-failures"
+	default:
+		return fmt.Sprintf("regime(%d)", int(r))
+	}
+}
+
+// Verdict is the classification of a model in Figure 1.
+type Verdict struct {
+	Model  Model
+	Regime Regime
+	// Universal reports whether bounded registers are universal: every
+	// task solvable with unbounded registers stays solvable. Open = not
+	// decided by the paper (t = n/2).
+	Universal bool
+	Open      bool
+	// SufficientBits is a register width sufficient for universality
+	// (as realized by this repository's constructions): 1 for n = 2,
+	// 3(t+1) for t < n/2. 0 when not universal or open.
+	SufficientBits int
+	// Theorem names the paper result that decides the regime.
+	Theorem string
+}
+
+// Classify places the model in Figure 1.
+func Classify(m Model) (Verdict, error) {
+	if err := m.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{Model: m}
+	switch {
+	case m.N == 2:
+		v.Regime = RegimeTwoProc
+		v.Universal = true
+		v.SufficientBits = 1
+		v.Theorem = "Theorem 1.2"
+	case 2*m.T < m.N:
+		v.Regime = RegimeMinority
+		v.Universal = true
+		v.SufficientBits = 3 * (m.T + 1)
+		v.Theorem = "Theorem 1.3"
+	case 2*m.T == m.N:
+		v.Regime = RegimeHalf
+		v.Open = true
+		v.Theorem = "open problem (§9)"
+	default:
+		v.Regime = RegimeMajority
+		v.Universal = false
+		v.Theorem = "Theorem 1.1"
+	}
+	return v, nil
+}
+
+// EpsAgreement1Bit solves binary 1/(2k+1)-agreement for two processes on
+// 1-bit registers (Algorithm 1) under the given scheduler.
+func EpsAgreement1Bit(k int, inputs [2]uint64, scheduler sched.Scheduler) (*agreement.Alg1Run, error) {
+	return agreement.RunAlg1(k, inputs, scheduler)
+}
+
+// FastEpsAgreement solves binary ε-agreement for two processes on 6-bit
+// registers with O(log 1/ε) steps (Theorem 8.1). r is the number of
+// simulated rounds; the precision is at least 1/2^r.
+func FastEpsAgreement(r int) (*labelling.FastAgreement, error) {
+	return labelling.NewFastAgreement(r)
+}
+
+// SolveTask2Proc solves an arbitrary 2-process wait-free solvable task
+// with 3-bit registers (Theorem 1.2 / Algorithm 2). It returns an error
+// if the task fails the Biran-Moran-Zaks solvability conditions.
+func SolveTask2Proc(tk *task.Task, input task.Pair, scheduler sched.Scheduler) (*task.Alg2System, error) {
+	sub, ok := tk.FindSolvableSubset()
+	if !ok {
+		return nil, fmt.Errorf("core: task %s is not wait-free solvable (BMZ conditions fail)", tk.Name)
+	}
+	plan, err := tk.BuildPlan(sub)
+	if err != nil {
+		return nil, err
+	}
+	sys, _, err := task.RunAlg2(plan, input, scheduler)
+	return sys, err
+}
+
+// SolveMinority solves binary 1/2^rounds-agreement for n processes with
+// t < n/2 failures on registers of 3(t+1) bits, through the full
+// Theorem 1.3 pipeline (ABD over the t-augmented ring with
+// alternating-bit links).
+func SolveMinority(n, t, rounds int, inputs []int64, scheduler sched.Scheduler) (*msgpass.PipelineResult, error) {
+	return msgpass.RunPipeline(msgpass.PipelineConfig{
+		Stage: msgpass.StageBitRing, N: n, T: t, Rounds: rounds,
+		Inputs: inputs, Scheduler: scheduler,
+	})
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/task"
+)
+
+func TestClassifyFigure1(t *testing.T) {
+	tests := []struct {
+		n, t      int
+		regime    Regime
+		universal bool
+		open      bool
+		bits      int
+	}{
+		{2, 1, RegimeTwoProc, true, false, 1},
+		{3, 1, RegimeMinority, true, false, 6},
+		{5, 2, RegimeMinority, true, false, 9},
+		{7, 3, RegimeMinority, true, false, 12},
+		{4, 2, RegimeHalf, false, true, 0},
+		{6, 3, RegimeHalf, false, true, 0},
+		{3, 2, RegimeMajority, false, false, 0},
+		{4, 3, RegimeMajority, false, false, 0},
+		{7, 4, RegimeMajority, false, false, 0},
+		{8, 7, RegimeMajority, false, false, 0},
+	}
+	for _, tc := range tests {
+		v, err := Classify(Model{N: tc.n, T: tc.t})
+		if err != nil {
+			t.Fatalf("n=%d t=%d: %v", tc.n, tc.t, err)
+		}
+		if v.Regime != tc.regime || v.Universal != tc.universal || v.Open != tc.open || v.SufficientBits != tc.bits {
+			t.Errorf("n=%d t=%d: got %+v", tc.n, tc.t, v)
+		}
+	}
+}
+
+func TestClassifyRejectsBadModels(t *testing.T) {
+	for _, m := range []Model{{N: 1, T: 1}, {N: 3, T: 0}, {N: 3, T: 3}} {
+		if _, err := Classify(m); err == nil {
+			t.Errorf("Classify(%+v) accepted", m)
+		}
+	}
+}
+
+func TestClassifyWaitFreeNotUniversalBeyondTwo(t *testing.T) {
+	// The headline: wait-free with n > 2 is never universal; n = 2 is.
+	for n := 3; n <= 10; n++ {
+		v, err := Classify(Model{N: n, T: n - 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Universal {
+			t.Errorf("n=%d wait-free classified universal", n)
+		}
+	}
+	v, err := Classify(Model{N: 2, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Universal || !v.Model.WaitFree() {
+		t.Error("n=2 wait-free should be universal")
+	}
+}
+
+func TestEpsAgreement1BitFacade(t *testing.T) {
+	run, err := EpsAgreement1Bit(3, [2]uint64{0, 1}, &sched.RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Check(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastEpsAgreementFacade(t *testing.T) {
+	fa, err := FastEpsAgreement(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := fa.Run([2]uint64{1, 0}, sched.NewRandom(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Check(fr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveTask2ProcFacade(t *testing.T) {
+	tk := task.DiscreteEpsAgreement(4)
+	sys, err := SolveTask2Proc(tk, task.Pair{0, 1}, sched.NewRandom(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.CheckRun(tk, task.Pair{0, 1}, sys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveTask2ProcRejectsConsensus(t *testing.T) {
+	if _, err := SolveTask2Proc(task.BinaryConsensus(), task.Pair{0, 1}, sched.NewRandom(0)); err == nil {
+		t.Fatal("consensus accepted")
+	}
+}
+
+func TestSolveMinorityFacade(t *testing.T) {
+	inputs := []int64{0, 1, 0}
+	pr, err := SolveMinority(3, 1, 2, inputs, sched.NewRandom(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.RegisterBits != 6 {
+		t.Fatalf("register bits = %d", pr.RegisterBits)
+	}
+	if err := pr.Check(inputs, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package experiments regenerates every figure and theorem-level claim of
+// the paper (the experiment index of DESIGN.md): each experiment returns
+// a printable table whose rows are the series the paper reports. The
+// cmd/figures binary prints them all; the root benchmarks wrap them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	// ID is the experiment id of DESIGN.md (E1..E12).
+	ID string
+	// Title names the paper object reproduced.
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes records the claim checked and the verdict.
+	Notes []string
+}
+
+// Runner produces a table.
+type Runner func() (*Table, error)
+
+// Registry maps experiment ids to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"E1":  Figure1Summary,
+		"E2":  Figure2Executions,
+		"E3":  Theorem12Universal,
+		"E4":  Theorem11Pigeonhole,
+		"E5":  Theorem13Pipeline,
+		"E6":  Theorem14IIS1Bit,
+		"E7":  Figure4ISComplex,
+		"E8":  Figure5Labels,
+		"E9":  Figure6SimulatedIS,
+		"E10": Theorem81Crossover,
+		"E11": Figure3Ring,
+		"E12": Lemma22Convergence,
+		"E13": Theorem12Fast,
+		"E14": Lemma23Substrates,
+	}
+}
+
+// IDs returns the experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, 14)
+	for id := range Registry() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		na, _ := strconv.Atoi(ids[a][1:])
+		nb, _ := strconv.Atoi(ids[b][1:])
+		return na < nb
+	})
+	return ids
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		out := ""
+		for i, c := range cells {
+			out += fmt.Sprintf("%-*s  ", widths[i], c)
+		}
+		return out + "\n"
+	}
+	out := fmt.Sprintf("== %s: %s ==\n", t.ID, t.Title)
+	out += line(t.Headers)
+	for _, row := range t.Rows {
+		out += line(row)
+	}
+	for _, n := range t.Notes {
+		out += "  note: " + n + "\n"
+	}
+	return out
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func rat(num, den int) string { return fmt.Sprintf("%d/%d", num, den) }

@@ -1,0 +1,116 @@
+package iis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Alg4Result is the outcome of one run of Algorithm 4: the simulated
+// final configuration of the IC protocol, plus the per-round simulated
+// configurations for inspection.
+type Alg4Result struct {
+	// Final is the simulated round-K configuration.
+	Final Config
+	// PerRound[r] is the simulated configuration after round r
+	// (PerRound[0] is the initial configuration).
+	PerRound []Config
+	// Iterations is the number of 1-bit immediate-snapshot iterations
+	// executed (N = Σ_{0≤ℓ<K} |C_ℓ|, the paper's Eq. 1 enumeration).
+	Iterations int
+	// Bits is the register width used per iteration memory (always 1).
+	Bits int
+}
+
+// Alg4Iterations returns N, the number of 1-bit IIS iterations Algorithm 4
+// needs to simulate all K rounds of the IC protocol enumerated by u.
+func Alg4Iterations(u *Universe) int {
+	total := 0
+	for r := 0; r < u.K; r++ {
+		total += len(u.Configs[r])
+	}
+	return total
+}
+
+// RunAlg4 simulates the full-information IC protocol in the IIS model with
+// 1-bit registers (Algorithm 4, Proposition 7.1), under the given IIS
+// schedule: one ordered partition per iteration, len(schedule) == N.
+//
+// Round r of the IC protocol is simulated by |C_{r-1}| iterations, one per
+// round-(r-1) configuration c_ρ in the round-preserving enumeration. In
+// iteration ρ, process i writes the single bit [c_ρ[i] == W_i^{r-1}] into
+// its 1-bit register of memory M_ρ and takes an immediate snapshot; every
+// j with bit 1 contributes the view c_ρ[j] to W_i^r. The simulated views
+// are validated against the universe at every round: Lemma 7.1 asserts
+// they are reachable by the IC protocol, and a lookup failure would
+// falsify it.
+func RunAlg4(u *Universe, inputs []int, schedule Schedule) (*Alg4Result, error) {
+	n := u.N
+	needed := Alg4Iterations(u)
+	if len(schedule) != needed {
+		return nil, fmt.Errorf("alg4: schedule has %d iterations, need N = %d", len(schedule), needed)
+	}
+	init, err := u.InitialConfig(inputs)
+	if err != nil {
+		return nil, err
+	}
+
+	flat := u.FlatConfigs()
+	w := make(Config, n)
+	copy(w, init)
+	result := &Alg4Result{PerRound: []Config{append(Config(nil), w...)}, Iterations: needed, Bits: 1}
+
+	for r := 1; r <= u.K; r++ {
+		lo, hi := u.RoundWindow(r)
+		// acc[i] maps pid j -> contributed view id (W_i^r as a set).
+		acc := make([]map[int]int, n)
+		for i := range acc {
+			acc[i] = make(map[int]int)
+		}
+		for rho := lo; rho < hi; rho++ {
+			cfg := flat[rho]
+			// Line 7-10: the bit each process writes into M_ρ[i].
+			bits := make([]int, n)
+			for i := 0; i < n; i++ {
+				if cfg[i] == w[i] {
+					bits[i] = 1
+				}
+			}
+			// Line 11: immediate snapshot of the 1-bit memory under the
+			// adversary's ordered partition for this iteration.
+			seen := schedule[rho].Seen(n)
+			// Line 12: collect the views encoded by 1-bits.
+			for i := 0; i < n; i++ {
+				for _, j := range seen[i] {
+					if bits[j] != 1 {
+						continue
+					}
+					if prev, ok := acc[i][j]; ok && prev != cfg[j] {
+						return nil, fmt.Errorf("alg4: process %d collected two views for %d (round %d)", i, j, r)
+					}
+					acc[i][j] = cfg[j]
+				}
+			}
+		}
+		// End of the round window: intern-free lookup of each W_i^r.
+		next := make(Config, n)
+		for i := 0; i < n; i++ {
+			seen := make([]SeenEntry, 0, len(acc[i]))
+			for j, id := range acc[i] {
+				seen = append(seen, SeenEntry{Pid: j, View: id})
+			}
+			sort.Slice(seen, func(a, b int) bool { return seen[a].Pid < seen[b].Pid })
+			id := u.Lookup(r, i, 0, seen)
+			if id < 0 {
+				return nil, fmt.Errorf("alg4: process %d simulated an unreachable round-%d view %v (Lemma 7.1 violated)", i, r, seen)
+			}
+			next[i] = id
+		}
+		if !u.HasConfig(r, next) {
+			return nil, fmt.Errorf("alg4: simulated round-%d configuration %v unreachable (Lemma 7.1 violated)", r, next)
+		}
+		w = next
+		result.PerRound = append(result.PerRound, append(Config(nil), w...))
+	}
+	result.Final = w
+	return result, nil
+}

@@ -1,0 +1,246 @@
+package iis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// --- Algorithm 3 (IC full-information) on the scheduler runtime ----------
+
+func TestICFullInfoExhaustiveTwoProcs(t *testing.T) {
+	// Every operational interleaving of the write-collect rounds lands in
+	// the combinatorially enumerated universe (and decides within ε).
+	u := NewUniverse(2, 2, BinaryInputVectors(2), CollectOutcomes(2))
+	for _, inputs := range [][]int{{0, 1}, {1, 0}, {0, 0}} {
+		runs, err := ExploreICFullInfo(u, inputs, func(final Config, r *sched.Result) {
+			if e := r.Err(); e != nil {
+				t.Fatalf("inputs %v: %v", inputs, e)
+			}
+			if !u.HasConfig(2, final) {
+				t.Fatalf("inputs %v: final config %v unreachable", inputs, final)
+			}
+			num, den := u.EstimateSpread(final)
+			if num*4 > den {
+				t.Fatalf("inputs %v: spread %d/%d > 1/4", inputs, num, den)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if runs == 0 {
+			t.Fatal("no runs")
+		}
+	}
+}
+
+func TestICFullInfoThreeProcsSampled(t *testing.T) {
+	u := NewUniverse(3, 2, BinaryInputVectors(3), CollectOutcomes(3))
+	for seed := int64(0); seed < 40; seed++ {
+		inputs := []int{int(seed) & 1, int(seed>>1) & 1, int(seed>>2) & 1}
+		final, res, err := RunICFullInfo(u, inputs, sched.NewRandom(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := res.Err(); e != nil {
+			t.Fatalf("seed %d: %v", seed, e)
+		}
+		if !u.HasConfig(2, final) {
+			t.Fatalf("seed %d: final config unreachable", seed)
+		}
+	}
+}
+
+// --- Algorithm 4 (IC simulated in IIS with 1-bit registers) --------------
+
+func TestAlg4ExhaustiveOneRound(t *testing.T) {
+	// n=2, k=1: N = |C_0| = 4 iterations, 3^4 = 81 IIS schedules, all
+	// enumerated. Every simulated configuration must be IC-reachable
+	// (Lemma 7.1) and the decision must solve 1/2-agreement.
+	u := NewUniverse(2, 1, BinaryInputVectors(2), CollectOutcomes(2))
+	n := Alg4Iterations(u)
+	if n != 4 {
+		t.Fatalf("N = %d, want 4", n)
+	}
+	for _, inputs := range [][]int{{0, 1}, {1, 0}, {1, 1}} {
+		count := 0
+		ForEachSchedule(2, n, func(s Schedule) bool {
+			count++
+			res, err := RunAlg4(u, inputs, s)
+			if err != nil {
+				t.Fatalf("inputs %v schedule %v: %v", inputs, s, err)
+			}
+			if !u.HasConfig(1, res.Final) {
+				t.Fatalf("inputs %v: unreachable final config", inputs)
+			}
+			num, den := u.EstimateSpread(res.Final)
+			if num*2 > den {
+				t.Fatalf("inputs %v: spread %d/%d > 1/2", inputs, num, den)
+			}
+			return true
+		})
+		if count != 81 {
+			t.Fatalf("enumerated %d schedules, want 81", count)
+		}
+	}
+}
+
+func TestAlg4TwoRoundsSampled(t *testing.T) {
+	u := NewUniverse(2, 2, BinaryInputVectors(2), CollectOutcomes(2))
+	n := Alg4Iterations(u)
+	if n != 4+12 {
+		t.Fatalf("N = %d, want 16", n)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		inputs := []int{rng.Intn(2), rng.Intn(2)}
+		s := RandomSchedule(2, n, rng)
+		res, err := RunAlg4(u, inputs, s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		num, den := u.EstimateSpread(res.Final)
+		if num*4 > den {
+			t.Fatalf("trial %d: spread %d/%d > 1/4", trial, num, den)
+		}
+		if inputs[0] == inputs[1] {
+			for _, id := range res.Final {
+				en, ed := u.Estimate(id)
+				if en != inputs[0]*ed {
+					t.Fatalf("trial %d: validity broken: %d/%d", trial, en, ed)
+				}
+			}
+		}
+	}
+}
+
+func TestAlg4ThreeProcsSampled(t *testing.T) {
+	u := NewUniverse(3, 1, BinaryInputVectors(3), CollectOutcomes(3))
+	n := Alg4Iterations(u)
+	if n != 8 {
+		t.Fatalf("N = %d, want |C_0| = 8", n)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		inputs := []int{rng.Intn(2), rng.Intn(2), rng.Intn(2)}
+		s := RandomSchedule(3, n, rng)
+		res, err := RunAlg4(u, inputs, s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		num, den := u.EstimateSpread(res.Final)
+		if num*2 > den {
+			t.Fatalf("trial %d: spread %d/%d > 1/2", trial, num, den)
+		}
+	}
+}
+
+func TestAlg4RejectsWrongScheduleLength(t *testing.T) {
+	u := NewUniverse(2, 1, BinaryInputVectors(2), CollectOutcomes(2))
+	if _, err := RunAlg4(u, []int{0, 1}, RandomSchedule(2, 2, rand.New(rand.NewSource(1)))); err == nil {
+		t.Fatal("expected schedule-length error")
+	}
+}
+
+// --- Algorithm 5 (Borowsky-Gafni snapshot in IC) --------------------------
+
+func TestAlg5ExhaustiveTwoProcs(t *testing.T) {
+	outcomes := map[string]bool{}
+	runs, err := ExploreAlg5([]int{10, 20}, func(sys *Alg5System, r *sched.Result) {
+		if e := r.Err(); e != nil {
+			t.Fatalf("%v", e)
+		}
+		correct := []bool{true, true}
+		if err := CheckImmediateSnapshots(sys.Inputs, sys.Snaps, correct); err != nil {
+			t.Fatalf("schedule: %v", err)
+		}
+		key := ""
+		for _, s := range sys.Snaps {
+			for _, v := range s {
+				key += string(rune('A' + v%64))
+			}
+			key += "|"
+		}
+		outcomes[key] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs == 0 {
+		t.Fatal("no runs")
+	}
+	// The 2-process one-round IS complex has exactly 3 facets.
+	if len(outcomes) != 3 {
+		t.Fatalf("distinct snapshot outcomes = %d, want 3", len(outcomes))
+	}
+}
+
+func TestAlg5ThreeProcsSampled(t *testing.T) {
+	outcomes := map[string]bool{}
+	for seed := int64(0); seed < 400; seed++ {
+		sys, res, err := RunAlg5([]int{1, 2, 3}, sched.NewRandom(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := res.Err(); e != nil {
+			t.Fatalf("seed %d: %v", seed, e)
+		}
+		if err := CheckImmediateSnapshots(sys.Inputs, sys.Snaps, []bool{true, true, true}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		key := ""
+		for _, s := range sys.Snaps {
+			for _, v := range s {
+				key += string(rune('A' + (v+1)%64))
+			}
+			key += "|"
+		}
+		outcomes[key] = true
+	}
+	// The 3-process one-round IS complex has 13 facets; random sampling
+	// should find several distinct ones.
+	if len(outcomes) < 3 {
+		t.Fatalf("only %d distinct outcomes sampled", len(outcomes))
+	}
+}
+
+func TestAlg5RoundRobinGivesFullSnapshot(t *testing.T) {
+	// Under lockstep round-robin, all processes write before anyone's
+	// last collect in iteration 1, so everyone adopts the full snapshot.
+	sys, res, err := RunAlg5([]int{5, 6, 7}, &sched.RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.Err(); e != nil {
+		t.Fatal(e)
+	}
+	for i, s := range sys.Snaps {
+		for j, v := range s {
+			if v != sys.Inputs[j] {
+				t.Fatalf("snapshot %d entry %d = %d, want full", i, j, v)
+			}
+		}
+	}
+}
+
+func TestAlg5SequentialGivesNestedSnapshots(t *testing.T) {
+	// If process 0 runs alone first, it must obtain... actually process 0
+	// cannot finish iteration 1 with a snapshot of size 3, it sees only
+	// itself (count 1 ≠ 3), and terminates with the singleton snapshot at
+	// iteration 3. The later processes see more. Snapshots are nested.
+	sys, res, err := RunAlg5([]int{5, 6, 7}, sched.Sequential{Order: []int{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.Err(); e != nil {
+		t.Fatal(e)
+	}
+	if err := CheckImmediateSnapshots(sys.Inputs, sys.Snaps, []bool{true, true, true}); err != nil {
+		t.Fatal(err)
+	}
+	// Process 0 ran solo: its snapshot is the singleton {x_0}.
+	if sys.Snaps[0][0] != 5 || sys.Snaps[0][1] != NoValue || sys.Snaps[0][2] != NoValue {
+		t.Fatalf("solo snapshot = %v", sys.Snaps[0])
+	}
+}

@@ -1,0 +1,119 @@
+package iis
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Schedule is one IIS execution: one ordered partition per round (or per
+// iteration, for iterated simulations like Algorithm 4).
+type Schedule []Blocks
+
+// RandomSchedule draws a schedule of the given length uniformly over
+// ordered partitions of n processes.
+func RandomSchedule(n, rounds int, rng *rand.Rand) Schedule {
+	parts := OrderedPartitions(n)
+	s := make(Schedule, rounds)
+	for r := range s {
+		s[r] = parts[rng.Intn(len(parts))]
+	}
+	return s
+}
+
+// ForEachSchedule enumerates all |OrderedPartitions(n)|^rounds schedules
+// and calls visit on each; visit returning false stops the enumeration.
+// For n = 2 this is the 3^rounds executions of Figure 4.
+func ForEachSchedule(n, rounds int, visit func(Schedule) bool) {
+	parts := OrderedPartitions(n)
+	s := make(Schedule, rounds)
+	var rec func(r int) bool
+	rec = func(r int) bool {
+		if r == rounds {
+			return visit(s)
+		}
+		for _, p := range parts {
+			s[r] = p
+			if !rec(r + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// CountSchedules returns |OrderedPartitions(n)|^rounds.
+func CountSchedules(n, rounds int) int {
+	per := len(OrderedPartitions(n))
+	total := 1
+	for i := 0; i < rounds; i++ {
+		total *= per
+	}
+	return total
+}
+
+// ApplySchedule runs the full-information protocol from the initial
+// configuration cfg under the given IIS schedule, interning any new views,
+// and returns the resulting configuration (round len(schedule)).
+func (u *Universe) ApplySchedule(cfg Config, schedule Schedule) Config {
+	cur := cfg
+	for r, bl := range schedule {
+		seen := bl.Seen(u.N)
+		next := make(Config, u.N)
+		for i := 0; i < u.N; i++ {
+			next[i] = u.successorView(r+1, i, cur, seen[i])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// InitialConfig returns the round-0 configuration for the given inputs,
+// or an error if it was not part of the universe's input vectors.
+func (u *Universe) InitialConfig(inputs []int) (Config, error) {
+	cfg := make(Config, u.N)
+	for i := 0; i < u.N; i++ {
+		id := u.Lookup(0, i, inputs[i], nil)
+		if id < 0 {
+			return nil, fmt.Errorf("iis: input %d of process %d not in universe", inputs[i], i)
+		}
+		cfg[i] = id
+	}
+	return cfg, nil
+}
+
+// EstimateSpread returns the maximum pairwise distance between the
+// midpoint estimates of a configuration's views, as an exact rational
+// (num, den). All views of one configuration share the round, hence the
+// denominator.
+func (u *Universe) EstimateSpread(cfg Config) (num, den int) {
+	lo, hi := 0, 0
+	den = 1
+	for idx, id := range cfg {
+		e, d := u.Estimate(id)
+		den = d
+		if idx == 0 || e < lo {
+			lo = e
+		}
+		if idx == 0 || e > hi {
+			hi = e
+		}
+	}
+	return hi - lo, den
+}
+
+// MaxRoundSpread returns the worst estimate spread over all reachable
+// round-r configurations whose inputs were mixed, as (num, den). It is
+// the empirical contraction curve of the midpoint protocol: the paper's
+// Lemma 2.2 machinery guarantees spread ≤ den/2^r... i.e. num/den ≤ 1/2^r.
+func (u *Universe) MaxRoundSpread(r int) (num, den int) {
+	worstNum, worstDen := 0, 1
+	for _, cfg := range u.Configs[r] {
+		n, d := u.EstimateSpread(cfg)
+		// Compare n/d > worstNum/worstDen.
+		if n*worstDen > worstNum*d {
+			worstNum, worstDen = n, d
+		}
+	}
+	return worstNum, worstDen
+}

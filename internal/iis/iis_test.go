@@ -1,0 +1,134 @@
+package iis
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUniverseTwoProcGrowth(t *testing.T) {
+	// Figure 4: the 2-process IS protocol complex triples every round;
+	// with all 4 binary input vectors there are 4·3^r configurations.
+	u := NewUniverse(2, 3, BinaryInputVectors(2), ISOutcomes(2))
+	want := 4
+	for r := 0; r <= 3; r++ {
+		if got := len(u.Configs[r]); got != want {
+			t.Errorf("round %d: %d configurations, want %d", r, got, want)
+		}
+		want *= 3
+	}
+}
+
+func TestUniverseSingleInputGrowth(t *testing.T) {
+	// From a single mixed input, exactly 3^r configurations (executions).
+	u := NewUniverse(2, 4, [][]int{{0, 1}}, ISOutcomes(2))
+	want := 1
+	for r := 0; r <= 4; r++ {
+		if got := len(u.Configs[r]); got != want {
+			t.Errorf("round %d: %d configurations, want 3^r = %d", r, got, want)
+		}
+		want *= 3
+	}
+}
+
+func TestUniverseMidpointContraction(t *testing.T) {
+	// Lemma 2.2 engine: the midpoint protocol's estimate spread halves
+	// every round, in both the IS and the IC one-round complexes.
+	for name, outcomes := range map[string][]CollectOutcome{
+		"is-2": ISOutcomes(2),
+		"ic-2": CollectOutcomes(2),
+	} {
+		u := NewUniverse(2, 4, BinaryInputVectors(2), outcomes)
+		for r := 0; r <= 4; r++ {
+			num, den := u.MaxRoundSpread(r)
+			// num/den ≤ 1/2^r  ⇔  num·2^r ≤ den
+			if num*(1<<r) > den {
+				t.Errorf("%s round %d: spread %d/%d exceeds 1/2^%d", name, r, num, den, r)
+			}
+		}
+	}
+}
+
+func TestUniverseMidpointContractionThreeProcs(t *testing.T) {
+	u := NewUniverse(3, 2, BinaryInputVectors(3), CollectOutcomes(3))
+	for r := 0; r <= 2; r++ {
+		num, den := u.MaxRoundSpread(r)
+		if num*(1<<r) > den {
+			t.Errorf("round %d: spread %d/%d exceeds 1/2^%d", r, num, den, r)
+		}
+	}
+}
+
+func TestUniverseValidity(t *testing.T) {
+	// With equal inputs x, every reachable estimate equals x.
+	for _, x := range []int{0, 1} {
+		u := NewUniverse(2, 3, [][]int{{x, x}}, ISOutcomes(2))
+		for r := 0; r <= 3; r++ {
+			for _, cfg := range u.Configs[r] {
+				for _, id := range cfg {
+					num, den := u.Estimate(id)
+					if num != x*den {
+						t.Fatalf("input %d round %d: estimate %d/%d", x, r, num, den)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestApplyScheduleMatchesEnumeration(t *testing.T) {
+	// Every schedule leads to a reachable configuration, and all
+	// reachable configurations are hit by some schedule.
+	u := NewUniverse(2, 3, [][]int{{0, 1}}, ISOutcomes(2))
+	init, err := u.InitialConfig([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := map[string]bool{}
+	ForEachSchedule(2, 3, func(s Schedule) bool {
+		final := u.ApplySchedule(init, s)
+		if !u.HasConfig(3, final) {
+			t.Fatalf("schedule %v: final config unreachable", s)
+		}
+		hit[final.key()] = true
+		return true
+	})
+	if len(hit) != len(u.Configs[3]) {
+		t.Errorf("schedules hit %d configs, enumeration has %d", len(hit), len(u.Configs[3]))
+	}
+}
+
+func TestCountSchedules(t *testing.T) {
+	if got := CountSchedules(2, 4); got != 81 {
+		t.Errorf("CountSchedules(2,4) = %d, want 81", got)
+	}
+	if got := CountSchedules(3, 2); got != 169 {
+		t.Errorf("CountSchedules(3,2) = %d, want 169", got)
+	}
+}
+
+func TestRandomScheduleShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := RandomSchedule(3, 5, rng)
+	if len(s) != 5 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, bl := range s {
+		total := 0
+		for _, b := range bl {
+			total += len(b)
+		}
+		if total != 3 {
+			t.Fatalf("partition %v does not cover 3 processes", bl)
+		}
+	}
+}
+
+func TestEstimateSpreadSingleConfig(t *testing.T) {
+	u := NewUniverse(2, 1, [][]int{{0, 1}}, ISOutcomes(2))
+	// Round-1 configs: p0 solo (ests 0, 1/2), p1 solo (1/2, 1), both
+	// (1/2, 1/2). Max spread = 1/2.
+	num, den := u.MaxRoundSpread(1)
+	if num*2 != den {
+		t.Errorf("round-1 max spread = %d/%d, want 1/2", num, den)
+	}
+}

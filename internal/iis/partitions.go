@@ -1,0 +1,193 @@
+// Package iis implements the iterated models of §7 and their
+// inter-simulations: the iterated immediate snapshot (IIS) model as
+// ordered partitions (the one-round immediate-snapshot complex), the
+// iterated collect (IC) model, the generic full-information protocol
+// (Algorithm 3), the simulation of IC protocols in the IIS model with
+// 1-bit registers (Algorithm 4, the engine of Theorem 1.4), and the
+// Borowsky-Gafni snapshot in the IC model (Algorithm 5, Proposition 7.2).
+package iis
+
+import "sort"
+
+// Blocks is one round of the IIS model: an ordered partition of the n
+// processes. A process in block b obtains an immediate snapshot containing
+// exactly the values written by processes in blocks 0..b.
+type Blocks [][]int
+
+// Seen returns, for each process, the sorted set of processes whose
+// round-values it sees under this ordered partition.
+func (bl Blocks) Seen(n int) [][]int {
+	seen := make([][]int, n)
+	var sofar []int
+	for _, block := range bl {
+		sofar = append(sofar, block...)
+		cur := make([]int, len(sofar))
+		copy(cur, sofar)
+		sort.Ints(cur)
+		for _, pid := range block {
+			seen[pid] = cur
+		}
+	}
+	return seen
+}
+
+// OrderedPartitions enumerates all ordered partitions of {0..n-1} (the
+// one-round IIS schedules). Their number is the Fubini number: 1, 3, 13,
+// 75, ... For two processes this is the 3-way branching of Figure 4.
+func OrderedPartitions(n int) []Blocks {
+	pids := make([]int, n)
+	for i := range pids {
+		pids[i] = i
+	}
+	var out []Blocks
+	var rec func(rest []int, acc Blocks)
+	rec = func(rest []int, acc Blocks) {
+		if len(rest) == 0 {
+			cp := make(Blocks, len(acc))
+			for i, b := range acc {
+				cb := make([]int, len(b))
+				copy(cb, b)
+				cp[i] = cb
+			}
+			out = append(out, cp)
+			return
+		}
+		// Choose any non-empty subset of rest as the next block.
+		m := len(rest)
+		for mask := 1; mask < 1<<m; mask++ {
+			var block, remain []int
+			for b := 0; b < m; b++ {
+				if mask&(1<<b) != 0 {
+					block = append(block, rest[b])
+				} else {
+					remain = append(remain, rest[b])
+				}
+			}
+			rec(remain, append(acc, block))
+		}
+	}
+	rec(pids, nil)
+	return out
+}
+
+// CollectOutcome is one possible result of a write-collect round of the IC
+// model: Sees[i] is the sorted set of processes whose round-values process
+// i read (always including i itself).
+type CollectOutcome struct {
+	Sees [][]int
+}
+
+// CollectOutcomes enumerates the possible outcomes of one IC round for n
+// processes, each performing one write followed by reads of all registers.
+// An outcome (S_1..S_n) is realizable iff there is a linear order π of the
+// writes with S_i ⊇ {j : π(j) ≤ π(i)}: process i's reads happen after its
+// own write, so it necessarily sees every earlier writer, and may or may
+// not see later ones. For n = 2 this coincides with the 3 immediate
+// snapshot outcomes; for n ≥ 3 it is strictly larger (views need not be
+// ordered by inclusion), which is exactly the IC/IS gap of §7.
+func CollectOutcomes(n int) []CollectOutcome {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	seenKeys := map[string]bool{}
+	var out []CollectOutcome
+
+	emit := func(sees [][]int) {
+		key := ""
+		for _, s := range sees {
+			for _, v := range s {
+				key += string(rune('a' + v))
+			}
+			key += "|"
+		}
+		if !seenKeys[key] {
+			seenKeys[key] = true
+			cp := make([][]int, n)
+			for i, s := range sees {
+				cs := make([]int, len(s))
+				copy(cs, s)
+				cp[i] = cs
+			}
+			out = append(out, CollectOutcome{Sees: cp})
+		}
+	}
+
+	var permute func(k int)
+	var withExtras func(order []int)
+
+	withExtras = func(order []int) {
+		// pos[j] = position of j's write in the order.
+		pos := make([]int, n)
+		for idx, pid := range order {
+			pos[pid] = idx
+		}
+		// For process i, mandatory set = writers at positions ≤ pos[i];
+		// optional set = later writers, each seen or not independently.
+		type choice struct {
+			pid      int
+			optional []int
+		}
+		choices := make([]choice, n)
+		for i := 0; i < n; i++ {
+			var opt []int
+			for j := 0; j < n; j++ {
+				if pos[j] > pos[i] {
+					opt = append(opt, j)
+				}
+			}
+			choices[i] = choice{pid: i, optional: opt}
+		}
+		sees := make([][]int, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				emit(sees)
+				return
+			}
+			opt := choices[i].optional
+			for mask := 0; mask < 1<<len(opt); mask++ {
+				var s []int
+				for j := 0; j < n; j++ {
+					if pos[j] <= pos[i] {
+						s = append(s, j)
+					}
+				}
+				for b, j := range opt {
+					if mask&(1<<b) != 0 {
+						s = append(s, j)
+					}
+				}
+				sort.Ints(s)
+				sees[i] = s
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+
+	permute = func(k int) {
+		if k == n {
+			withExtras(perm)
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			permute(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	permute(0)
+	return out
+}
+
+// ISOutcomes converts ordered partitions into the same shape as
+// CollectOutcomes, for comparing the two one-round complexes.
+func ISOutcomes(n int) []CollectOutcome {
+	parts := OrderedPartitions(n)
+	out := make([]CollectOutcome, len(parts))
+	for i, bl := range parts {
+		out[i] = CollectOutcome{Sees: bl.Seen(n)}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package iis
+
+import (
+	"testing"
+)
+
+func TestOrderedPartitionCounts(t *testing.T) {
+	// Fubini numbers: the number of one-round IIS schedules.
+	want := map[int]int{1: 1, 2: 3, 3: 13, 4: 75}
+	for n, count := range want {
+		if got := len(OrderedPartitions(n)); got != count {
+			t.Errorf("OrderedPartitions(%d) = %d, want %d", n, got, count)
+		}
+	}
+}
+
+func TestBlocksSeen(t *testing.T) {
+	bl := Blocks{{1}, {0, 2}}
+	seen := bl.Seen(3)
+	if len(seen[1]) != 1 || seen[1][0] != 1 {
+		t.Errorf("seen[1] = %v, want [1]", seen[1])
+	}
+	for _, pid := range []int{0, 2} {
+		if len(seen[pid]) != 3 {
+			t.Errorf("seen[%d] = %v, want all three", pid, seen[pid])
+		}
+	}
+}
+
+func TestBlocksSeenSelfContained(t *testing.T) {
+	for _, bl := range OrderedPartitions(3) {
+		seen := bl.Seen(3)
+		for pid := 0; pid < 3; pid++ {
+			found := false
+			for _, j := range seen[pid] {
+				if j == pid {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("partition %v: process %d does not see itself", bl, pid)
+			}
+		}
+	}
+}
+
+func TestBlocksSeenInclusion(t *testing.T) {
+	// Immediate-snapshot outcomes are totally ordered by inclusion.
+	for _, bl := range OrderedPartitions(3) {
+		seen := bl.Seen(3)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if !subsetInts(seen[i], seen[j]) && !subsetInts(seen[j], seen[i]) {
+					t.Fatalf("partition %v: views %v and %v incomparable", bl, seen[i], seen[j])
+				}
+			}
+		}
+	}
+}
+
+func subsetInts(a, b []int) bool {
+	set := map[int]bool{}
+	for _, v := range b {
+		set[v] = true
+	}
+	for _, v := range a {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCollectOutcomesTwoProcsMatchIS(t *testing.T) {
+	// For n = 2, one IC round has exactly the 3 immediate-snapshot
+	// outcomes: the two solo views and the mutual view (§8, Figure 4).
+	ic := CollectOutcomes(2)
+	if len(ic) != 3 {
+		t.Fatalf("CollectOutcomes(2) = %d outcomes, want 3", len(ic))
+	}
+	is := ISOutcomes(2)
+	if len(is) != 3 {
+		t.Fatalf("ISOutcomes(2) = %d outcomes, want 3", len(is))
+	}
+	if !sameOutcomeSets(ic, is) {
+		t.Fatal("IC and IS one-round complexes differ for n = 2")
+	}
+}
+
+func TestCollectOutcomesContainIS(t *testing.T) {
+	// Every immediate-snapshot outcome is realizable as a collect, but for
+	// n ≥ 3 collects admit strictly more outcomes (non-nested views) —
+	// the IC/IS gap that Algorithm 5 bridges.
+	for _, n := range []int{2, 3} {
+		ic := outcomeSet(CollectOutcomes(n))
+		for _, o := range ISOutcomes(n) {
+			if !ic[outcomeKey(o)] {
+				t.Errorf("n=%d: IS outcome %v not an IC outcome", n, o.Sees)
+			}
+		}
+	}
+	if len(CollectOutcomes(3)) <= len(ISOutcomes(3)) {
+		t.Error("n=3: expected strictly more IC outcomes than IS outcomes")
+	}
+}
+
+func TestCollectOutcomesNonNestedExists(t *testing.T) {
+	found := false
+	for _, o := range CollectOutcomes(3) {
+		ordered := true
+		for i := 0; i < 3 && ordered; i++ {
+			for j := 0; j < 3; j++ {
+				if !subsetInts(o.Sees[i], o.Sees[j]) && !subsetInts(o.Sees[j], o.Sees[i]) {
+					ordered = false
+					break
+				}
+			}
+		}
+		if !ordered {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no non-nested collect outcome for n=3; IC executor would equal IS")
+	}
+}
+
+func TestCollectOutcomesMandatoryPrefix(t *testing.T) {
+	// In every outcome, exactly one process may see only itself... at
+	// most one: two distinct processes cannot both miss everyone, since
+	// one of them writes first.
+	for _, o := range CollectOutcomes(3) {
+		soloCount := 0
+		for i := 0; i < 3; i++ {
+			if len(o.Sees[i]) == 1 {
+				soloCount++
+			}
+		}
+		if soloCount > 1 {
+			t.Fatalf("outcome %v has %d solo views", o.Sees, soloCount)
+		}
+	}
+}
+
+func outcomeKey(o CollectOutcome) string {
+	key := ""
+	for _, s := range o.Sees {
+		for _, v := range s {
+			key += string(rune('a' + v))
+		}
+		key += "|"
+	}
+	return key
+}
+
+func outcomeSet(os []CollectOutcome) map[string]bool {
+	m := make(map[string]bool, len(os))
+	for _, o := range os {
+		m[outcomeKey(o)] = true
+	}
+	return m
+}
+
+func sameOutcomeSets(a, b []CollectOutcome) bool {
+	sa, sb := outcomeSet(a), outcomeSet(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k := range sa {
+		if !sb[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package labelling
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestDeltaAblationPathLength: a larger solo budget Δ keeps more IS
+// executions in the simulated subset (fewer early exits), at the cost of
+// wider registers — the design trade-off behind Theorem 8.1's choice of
+// Δ = 2.
+func TestDeltaAblationPathLength(t *testing.T) {
+	r := 6
+	vm2, err := BuildValueMap(Alg6Config{Delta: 2, R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm3, err := BuildValueMap(Alg6Config{Delta: 3, R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm3.Len <= vm2.Len {
+		t.Fatalf("Δ=3 path %d not longer than Δ=2 path %d", vm3.Len, vm2.Len)
+	}
+	if vm3.Len > Pow3(r)+1 {
+		t.Fatalf("Δ=3 path %d exceeds the full complex", vm3.Len)
+	}
+}
+
+// TestDeltaAblationRegisterWidth: register width is ⌈log(2Δ+1)⌉ + Δ+1.
+func TestDeltaAblationRegisterWidth(t *testing.T) {
+	tests := []struct {
+		delta, want int
+	}{
+		{2, 6},  // ⌈log 5⌉=3 + 3
+		{3, 7},  // ⌈log 7⌉=3 + 4
+		{4, 9},  // ⌈log 9⌉=4 + 5
+		{5, 10}, // ⌈log 11⌉=4 + 6
+	}
+	for _, tc := range tests {
+		cfg := Alg6Config{Delta: tc.delta, R: 5}
+		if got := cfg.RegisterBits(); got != tc.want {
+			t.Errorf("Δ=%d: bits = %d, want %d", tc.delta, got, tc.want)
+		}
+	}
+}
+
+// TestDeltaAblationRuns: Algorithm 6 stays correct for Δ = 3, 4 — all
+// runs land on the respective path with adjacent co-final labels.
+func TestDeltaAblationRuns(t *testing.T) {
+	for _, delta := range []int{3, 4} {
+		cfg := Alg6Config{Delta: delta, R: 6}
+		vm, err := BuildValueMap(cfg)
+		if err != nil {
+			t.Fatalf("Δ=%d: %v", delta, err)
+		}
+		for seed := int64(0); seed < 50; seed++ {
+			labels, done, res, err := RunAlg6(cfg, sched.NewRandom(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := res.Err(); e != nil {
+				t.Fatalf("Δ=%d seed=%d: %v", delta, seed, e)
+			}
+			if !done[0] || !done[1] {
+				t.Fatalf("Δ=%d seed=%d: unfinished", delta, seed)
+			}
+			i0, ok0 := vm.Index[labels[0]]
+			i1, ok1 := vm.Index[labels[1]]
+			if !ok0 || !ok1 {
+				t.Fatalf("Δ=%d seed=%d: labels off-path", delta, seed)
+			}
+			if d := i0 - i1; d != 1 && d != -1 {
+				t.Fatalf("Δ=%d seed=%d: indices %d,%d not adjacent", delta, seed, i0, i1)
+			}
+		}
+	}
+}
+
+// TestValueMapDeterministic: two builds agree exactly.
+func TestValueMapDeterministic(t *testing.T) {
+	a, err := BuildValueMap(Alg6Config{Delta: 2, R: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildValueMap(Alg6Config{Delta: 2, R: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len != b.Len || a.PairCount != b.PairCount {
+		t.Fatal("nondeterministic value map size")
+	}
+	for l, i := range a.Index {
+		if b.Index[l] != i {
+			t.Fatalf("label %v has index %d vs %d", l, i, b.Index[l])
+		}
+	}
+}
+
+// TestLemma87SchedulesShape: the constructed schedule family has the
+// right count and step shape.
+func TestLemma87SchedulesShape(t *testing.T) {
+	r := 4
+	seqs := Lemma87Schedules(r)
+	if len(seqs) != 1<<r {
+		t.Fatalf("%d schedules, want %d", len(seqs), 1<<r)
+	}
+	for _, seq := range seqs {
+		if len(seq) != 4*r {
+			t.Fatalf("schedule length %d, want %d", len(seq), 4*r)
+		}
+		count := map[int]int{}
+		for _, pid := range seq {
+			count[pid]++
+		}
+		if count[0] != 2*r || count[1] != 2*r {
+			t.Fatalf("unbalanced schedule %v", seq)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package labelling
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// Alg6Config parameterizes the constant-register simulation of §8.2.
+type Alg6Config struct {
+	// Delta is the solo budget Δ: a process quits after Δ consecutive
+	// simulated solo rounds. Δ ≥ 2 per Lemma 8.7; Δ = 2 gives the 6-bit
+	// registers of Theorem 8.1.
+	Delta int
+	// R is the maximum number of simulated IS rounds.
+	R int
+}
+
+// RingSize returns the size 2Δ+1 of the position ring.
+func (c Alg6Config) RingSize() int { return 2*c.Delta + 1 }
+
+// RegisterBits returns the register width of the simulation:
+// ⌈log2(2Δ+1)⌉ bits of ring position plus Δ+1 history bits (the labelling
+// protocol writes b = 1 bit per round). For Δ = 2 this is 3 + 3 = 6 bits,
+// matching Theorem 8.1.
+func (c Alg6Config) RegisterBits() int {
+	ringBits := 0
+	for 1<<ringBits < c.RingSize() {
+		ringBits++
+	}
+	return ringBits + c.Delta + 1
+}
+
+func (c Alg6Config) ringBits() int {
+	b := 0
+	for 1<<b < c.RingSize() {
+		b++
+	}
+	return b
+}
+
+// encode packs (ring position x, history window H) into one bounded word.
+// H[0] is the most recent bit.
+func (c Alg6Config) encode(x int, h []uint64) uint64 {
+	w := uint64(x)
+	for j, bit := range h {
+		w |= bit << (c.ringBits() + j)
+	}
+	return w
+}
+
+// decode unpacks a register word.
+func (c Alg6Config) decode(w uint64) (x int, h []uint64) {
+	x = int(w & ((1 << c.ringBits()) - 1))
+	h = make([]uint64, c.Delta+1)
+	for j := range h {
+		h[j] = (w >> (c.ringBits() + j)) & 1
+	}
+	return x, h
+}
+
+// NewAlg6Memory returns the 2-process shared memory of the simulation,
+// with registers of exactly RegisterBits() bits.
+func NewAlg6Memory(cfg Alg6Config) *memory.Shared {
+	return memory.New(2, cfg.RegisterBits())
+}
+
+// ringDist is ℓ(a,b): the length of the directed path from a to b on the
+// oriented ring of size 2Δ+1.
+func (c Alg6Config) ringDist(a, b int) int {
+	return ((b-a)%c.RingSize() + c.RingSize()) % c.RingSize()
+}
+
+// Alg6Inline runs Algorithm 6 for process p on memory m, simulating the
+// labelling protocol, and returns the process's final label. Each
+// simulated round costs exactly one write and one read of a
+// RegisterBits()-bit register.
+func Alg6Inline(p *sched.Proc, cfg Alg6Config, m *memory.Shared) (Label, error) {
+	pm := memory.Bind(p, m)
+	me, other := p.ID, 1-p.ID
+
+	estr := 0  // estimate of the other process's round
+	xprec := 0 // last known ring position of the other process
+	c := 0     // consecutive simulated solo rounds
+	pos := InitialPos(me)
+	h := make([]uint64, cfg.Delta+1)
+
+	r := 0
+	broke := false
+	for r = 1; r <= cfg.R; r++ {
+		x := r % cfg.RingSize()            // line 3: advance on the ring
+		v := Bit(pos)                      // line 4: the labelling protocol's bit
+		for j := len(h) - 1; j >= 1; j-- { // lines 5-6: slide the window
+			h[j] = h[j-1]
+		}
+		h[0] = v
+		if err := pm.Write(cfg.encode(x, h)); err != nil { // line 8
+			return Label{}, err
+		}
+		word, ok := pm.Read(other).(uint64) // line 9
+		if !ok {
+			return Label{}, fmt.Errorf("alg6: register holds non-word")
+		}
+		xo, ho := cfg.decode(word)
+		estr += cfg.ringDist(xprec, xo) // line 10
+		xprec = xo                      // line 11
+
+		sawOther := false
+		var otherBit uint64
+		if r <= estr { // lines 12-14
+			idx := estr - r
+			if idx > cfg.Delta {
+				return Label{}, fmt.Errorf("alg6: history index %d > Δ (Corollary 8.2 violated)", idx)
+			}
+			sawOther = true
+			otherBit = ho[idx]
+			c = 0
+		} else { // lines 15-17
+			c++
+		}
+		np, err := Step(pos, sawOther, otherBit, Pow3(r-1))
+		if err != nil {
+			return Label{}, err
+		}
+		pos = np
+		if c == cfg.Delta { // line 18
+			broke = true
+			break
+		}
+	}
+	if !broke {
+		r = cfg.R
+	}
+	return Label{Pid: me, Round: r, Pos: pos}, nil
+}
+
+// RunAlg6 runs the simulation for both processes under the scheduler.
+// Labels[i] is process i's final label; Done[i] reports it finished.
+func RunAlg6(cfg Alg6Config, scheduler sched.Scheduler) ([2]Label, [2]bool, *sched.Result, error) {
+	var labels [2]Label
+	var done [2]bool
+	m := NewAlg6Memory(cfg)
+	procs := []sched.ProcFunc{
+		func(p *sched.Proc) error {
+			l, err := Alg6Inline(p, cfg, m)
+			if err != nil {
+				return err
+			}
+			labels[0], done[0] = l, true
+			return nil
+		},
+		func(p *sched.Proc) error {
+			l, err := Alg6Inline(p, cfg, m)
+			if err != nil {
+				return err
+			}
+			labels[1], done[1] = l, true
+			return nil
+		},
+	}
+	res, err := sched.Run(sched.Config{Scheduler: scheduler}, procs)
+	if err != nil {
+		return labels, done, nil, err
+	}
+	return labels, done, res, nil
+}
+
+// Lemma87Schedules constructs the 2^R schedules of Lemma 8.7, each
+// simulating a distinct IS execution of length R: per round, either both
+// processes write then both read (no solo), or the designated solo
+// process writes and reads before the other (alternating the solo process
+// so that no process accumulates Δ ≥ 2 consecutive solo rounds). The
+// schedules are returned as pid step sequences for a Replay scheduler.
+func Lemma87Schedules(r int) [][]int {
+	var out [][]int
+	total := 1 << r
+	for mask := 0; mask < total; mask++ {
+		var seq []int
+		lastSolo := 1 // first solo round uses process 0
+		for round := 0; round < r; round++ {
+			if mask&(1<<round) == 0 {
+				seq = append(seq, 0, 1, 0, 1) // w0 w1 r0 r1: both see both
+			} else {
+				s := 1 - lastSolo
+				lastSolo = s
+				seq = append(seq, s, s, 1-s, 1-s) // ws rs wo ro: s is solo
+			}
+		}
+		out = append(out, seq)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package labelling
+
+import (
+	"fmt"
+
+	"repro/internal/agreement"
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// FastAgreement is the wait-free ε-agreement protocol of Theorem 8.1: two
+// processes, registers of constant size (6 bits for Δ = 2), step
+// complexity O(R) = O(log 1/ε). Each process publishes its input in its
+// write-once input register, runs Algorithm 6 to obtain a label of the
+// simulated labelling protocol, reads the other input, and decides the
+// label's position along the simulated protocol-complex path, oriented by
+// the inputs (§8.1's decision rule).
+type FastAgreement struct {
+	Cfg Alg6Config
+	VM  *ValueMap
+}
+
+// NewFastAgreement builds the protocol for R simulated rounds with solo
+// budget Δ = 2 (6-bit registers). Its precision is 1/(VM.Len-1) ≤ 1/2^R
+// (Lemma 8.7: at least 2^R simulated executions).
+func NewFastAgreement(r int) (*FastAgreement, error) {
+	cfg := Alg6Config{Delta: 2, R: r}
+	vm, err := BuildValueMap(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FastAgreement{Cfg: cfg, VM: vm}, nil
+}
+
+// EpsDen returns the denominator D of the protocol's precision 1/D.
+func (fa *FastAgreement) EpsDen() int { return fa.VM.Len - 1 }
+
+// Proc returns process me's code. The decision is stored through out.
+func (fa *FastAgreement) Proc(m *memory.Shared, input uint64, out *agreement.Decision, decided *bool) sched.ProcFunc {
+	return func(p *sched.Proc) error {
+		d, err := fa.Inline(p, m, input)
+		if err != nil {
+			return err
+		}
+		*out = d
+		*decided = true
+		return nil
+	}
+}
+
+// Inline runs the fast ε-agreement inside an already-scheduled process,
+// on its dedicated 2-process memory m (6-bit registers plus the
+// write-once input registers). Decisions are normalized to denominator
+// EpsDen(): boundary decisions satisfy the Lemma 5.6 analogue (decide
+// 0 or 1 only with that own input), which is what lets this protocol
+// replace Algorithm 1 inside the universal construction.
+func (fa *FastAgreement) Inline(p *sched.Proc, m *memory.Shared, input uint64) (agreement.Decision, error) {
+	if input > 1 {
+		return agreement.Decision{}, fmt.Errorf("fast: input %d not binary", input)
+	}
+	pm := memory.Bind(p, m)
+	me, other := p.ID, 1-p.ID
+
+	if err := pm.WriteInput(input); err != nil {
+		return agreement.Decision{}, err
+	}
+	label, err := Alg6Inline(p, fa.Cfg, m)
+	if err != nil {
+		return agreement.Decision{}, err
+	}
+	xotherAny := pm.ReadInput(other)
+
+	den := fa.EpsDen()
+
+	// No other input, or equal inputs: decide own input.
+	if xotherAny == nil {
+		return agreement.Dec(int(input)*den, den), nil
+	}
+	xother, ok := xotherAny.(uint64)
+	if !ok {
+		return agreement.Decision{}, fmt.Errorf("fast: input register holds %T", xotherAny)
+	}
+	if xother == input {
+		return agreement.Dec(int(input)*den, den), nil
+	}
+
+	// Inputs differ: decide the path position, oriented by x_0.
+	num, _, err := fa.VM.Value(label)
+	if err != nil {
+		return agreement.Decision{}, err
+	}
+	x0 := input
+	if me == 1 {
+		x0 = xother
+	}
+	if x0 == 0 {
+		return agreement.Dec(num, den), nil
+	}
+	return agreement.Dec(den-num, den), nil
+}
+
+// FastRun is one execution of the fast ε-agreement protocol.
+type FastRun struct {
+	Inputs  [2]uint64
+	Outs    [2]agreement.Decision
+	Decided [2]bool
+	Result  *sched.Result
+}
+
+// Check validates the run against binary ε-agreement with ε = 1/EpsDen().
+func (fa *FastAgreement) Check(fr *FastRun) error {
+	return agreement.CheckBinaryEps(fr.Inputs[:], fr.Outs[:], fr.Decided[:], 1, fa.EpsDen())
+}
+
+// Run executes the protocol under the given scheduler.
+func (fa *FastAgreement) Run(inputs [2]uint64, scheduler sched.Scheduler) (*FastRun, error) {
+	fr := &FastRun{Inputs: inputs}
+	m := NewAlg6Memory(fa.Cfg)
+	procs := []sched.ProcFunc{
+		fa.Proc(m, inputs[0], &fr.Outs[0], &fr.Decided[0]),
+		fa.Proc(m, inputs[1], &fr.Outs[1], &fr.Decided[1]),
+	}
+	res, err := sched.Run(sched.Config{Scheduler: scheduler}, procs)
+	if err != nil {
+		return nil, err
+	}
+	fr.Result = res
+	return fr, nil
+}
+
+// MaxSteps returns the protocol's worst-case step count per process:
+// 2 input-register operations plus 2 per simulated round.
+func (fa *FastAgreement) MaxSteps() int { return 2*fa.Cfg.R + 2 }

@@ -1,0 +1,173 @@
+// Package labelling implements §8 of the paper: the 2-process labelling
+// protocol of Delporte-Fauconnier-Rajsbaum [14] in which each process
+// writes a single bit per immediate-snapshot round yet the set of labels
+// after r rounds has size 3^r+1 (Lemma 8.1); Algorithm 6, which simulates
+// a subset of the IS executions of the labelling protocol using two
+// constant-size registers (ring positions + bounded history windows); and
+// the fast wait-free ε-agreement of Theorem 8.1 (O(log 1/ε) steps with
+// 6-bit registers).
+//
+// The labelling protocol is reconstructed from the structure of the
+// 2-process IS protocol complex: after r rounds the complex is a path of
+// 3^r+1 vertices whose colors (process ids) alternate, and one IS round
+// subdivides each edge into three. A process's state is exactly its
+// position p on the path (process 0 on even positions, process 1 on odd
+// ones). The bit written in round r is
+//
+//	b(p) = ⌊(p mod 4) / 2⌋,
+//
+// which lets the other process — knowing its own position q and that
+// |p − q| = 1 — recover on which side its neighbour sits: p = q−1 and
+// p = q+1 always have different b (they differ by 2 modulo 4). The
+// position update for one IS round is
+//
+//	solo:              p ← 3p
+//	saw other at p+1:  p ← 3p+2
+//	saw other at p−1:  p ← 3p−2
+//
+// matching the edge subdivision {p,p+1} → {3p, 3p+1}, {3p+1, 3p+2},
+// {3p+2, 3p+3}.
+package labelling
+
+import (
+	"fmt"
+
+	"repro/internal/iis"
+)
+
+// Label is a final state of the labelling protocol: process Pid stopped
+// after Round rounds at position Pos ∈ {0..3^Round} of the round-Round
+// path. The paper writes it (i, r, λ).
+type Label struct {
+	Pid   int
+	Round int
+	Pos   int
+}
+
+// String formats the label.
+func (l Label) String() string {
+	return fmt.Sprintf("(p%d,r%d,λ%d)", l.Pid, l.Round, l.Pos)
+}
+
+// Bit returns the bit the labelling protocol writes from position p:
+// b(p) = ⌊(p mod 4)/2⌋. Positions q−1 and q+1 always have different bits.
+func Bit(p int) uint64 {
+	if p%4 >= 2 {
+		return 1
+	}
+	return 0
+}
+
+// Pow3 returns 3^r.
+func Pow3(r int) int {
+	out := 1
+	for i := 0; i < r; i++ {
+		out *= 3
+	}
+	return out
+}
+
+// InitialPos returns the round-0 position of process pid on the
+// single-edge round-0 path: process 0 at 0, process 1 at 1.
+func InitialPos(pid int) int { return pid }
+
+// Step advances position p by one IS round. If sawOther is false the
+// round was solo. Otherwise otherBit is the bit written by the other
+// process this round, and maxPos = 3^(r-1) is the top position of the
+// previous round's path, used to resolve the boundary cases p = 0 and
+// p = maxPos where only one neighbour exists.
+func Step(p int, sawOther bool, otherBit uint64, maxPos int) (int, error) {
+	if !sawOther {
+		return 3 * p, nil
+	}
+	switch {
+	case p == 0:
+		return 3*p + 2, nil // neighbour must be at p+1
+	case p == maxPos:
+		return 3*p - 2, nil // neighbour must be at p-1
+	case Bit(p+1) == otherBit && Bit(p-1) == otherBit:
+		return 0, fmt.Errorf("labelling: bit %d matches both neighbours of %d", otherBit, p)
+	case Bit(p+1) == otherBit:
+		return 3*p + 2, nil
+	case Bit(p-1) == otherBit:
+		return 3*p - 2, nil
+	default:
+		return 0, fmt.Errorf("labelling: bit %d matches no neighbour of %d", otherBit, p)
+	}
+}
+
+// RunIIS runs the labelling protocol for both processes in the IIS model
+// under the given schedule (one ordered partition per round) and returns
+// the two labels.
+func RunIIS(schedule iis.Schedule) ([2]Label, error) {
+	pos := [2]int{InitialPos(0), InitialPos(1)}
+	for r, bl := range schedule {
+		maxPos := Pow3(r)
+		bits := [2]uint64{Bit(pos[0]), Bit(pos[1])}
+		seen := bl.Seen(2)
+		var next [2]int
+		for i := 0; i < 2; i++ {
+			sawOther := false
+			for _, j := range seen[i] {
+				if j != i {
+					sawOther = true
+				}
+			}
+			p, err := Step(pos[i], sawOther, bits[1-i], maxPos)
+			if err != nil {
+				return [2]Label{}, err
+			}
+			next[i] = p
+		}
+		pos = next
+	}
+	r := len(schedule)
+	return [2]Label{
+		{Pid: 0, Round: r, Pos: pos[0]},
+		{Pid: 1, Round: r, Pos: pos[1]},
+	}, nil
+}
+
+// AllLabels enumerates the labels reachable after r IIS rounds across all
+// 3^r schedules. Lemma 8.1: exactly 3^r + 1 labels (the positions
+// 0..3^r, with the process id determined by parity).
+func AllLabels(r int) (map[Label]bool, error) {
+	labels := map[Label]bool{}
+	var firstErr error
+	iis.ForEachSchedule(2, r, func(s iis.Schedule) bool {
+		ls, err := RunIIS(s)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		labels[ls[0]] = true
+		labels[ls[1]] = true
+		return true
+	})
+	return labels, firstErr
+}
+
+// F is the label-to-value map of §8.1 for full executions: position
+// p over denominator 3^r. f(λ_s0) = 0 for process 0's all-solo label and
+// f(λ_s1) = 1 for process 1's; co-final labels are 1/3^r apart.
+func F(l Label) (num, den int) { return l.Pos, Pow3(l.Round) }
+
+// DecideIIS is the ε-agreement decision rule of §8.1: given the process's
+// binary input, the other process's input (-1 if unseen), and the label,
+// it returns the decision as (num, den). With both inputs visible and
+// different, the path is oriented by x_0: value f(λ) if x_0 = 0, and
+// 1 − f(λ) otherwise.
+func DecideIIS(pid int, myInput int, otherInput int, l Label) (num, den int) {
+	if otherInput < 0 || otherInput == myInput {
+		return myInput, 1
+	}
+	x0 := myInput
+	if pid == 1 {
+		x0 = otherInput
+	}
+	fn, fd := F(l)
+	if x0 == 0 {
+		return fn, fd
+	}
+	return fd - fn, fd
+}

@@ -1,0 +1,146 @@
+package labelling
+
+import (
+	"testing"
+
+	"repro/internal/iis"
+)
+
+func TestBitDistinguishesNeighbours(t *testing.T) {
+	// b(q-1) ≠ b(q+1) for every q ≥ 1 — the direction-disambiguation
+	// property the 1-bit protocol relies on.
+	for q := 1; q < 1000; q++ {
+		if Bit(q-1) == Bit(q+1) {
+			t.Fatalf("Bit(%d) == Bit(%d)", q-1, q+1)
+		}
+	}
+}
+
+func TestStepSubdivision(t *testing.T) {
+	// One IS round maps the edge {p, p+1} to the three sub-edges of the
+	// tripled path.
+	maxPos := 9 // round-2 path
+	p := 4
+	if got, _ := Step(p, false, 0, maxPos); got != 12 {
+		t.Errorf("solo: %d, want 12", got)
+	}
+	if got, _ := Step(p, true, Bit(5), maxPos); got != 14 {
+		t.Errorf("saw right neighbour: %d, want 14", got)
+	}
+	if got, _ := Step(p, true, Bit(3), maxPos); got != 10 {
+		t.Errorf("saw left neighbour: %d, want 10", got)
+	}
+}
+
+func TestStepBoundaries(t *testing.T) {
+	if got, _ := Step(0, true, Bit(1), 9); got != 2 {
+		t.Errorf("left boundary: %d, want 2", got)
+	}
+	if got, _ := Step(9, true, Bit(8), 9); got != 25 {
+		t.Errorf("right boundary: %d, want 25", got)
+	}
+}
+
+func TestLemma81LabelCounts(t *testing.T) {
+	// Lemma 8.1: after r rounds, exactly 3^r + 1 labels over all
+	// executions — the positions of the subdivided path.
+	for r := 1; r <= 5; r++ {
+		labels, err := AllLabels(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Pow3(r) + 1; len(labels) != want {
+			t.Fatalf("round %d: %d labels, want 3^%d+1 = %d", r, len(labels), r, want)
+		}
+		// Positions partition by parity: process 0 even, process 1 odd.
+		for l := range labels {
+			if l.Pos%2 != l.Pid {
+				t.Fatalf("label %v: position parity does not match pid", l)
+			}
+			if l.Pos < 0 || l.Pos > Pow3(r) {
+				t.Fatalf("label %v out of range", l)
+			}
+		}
+	}
+}
+
+func TestLabelsAdjacentEveryExecution(t *testing.T) {
+	// In every execution the two final positions are adjacent on the
+	// round-r path (they form an edge of the protocol complex).
+	iis.ForEachSchedule(2, 4, func(s iis.Schedule) bool {
+		ls, err := RunIIS(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := ls[0].Pos - ls[1].Pos
+		if d != 1 && d != -1 {
+			t.Fatalf("schedule %v: positions %d, %d not adjacent", s, ls[0].Pos, ls[1].Pos)
+		}
+		return true
+	})
+}
+
+func TestSoloEndpoints(t *testing.T) {
+	// Process 0 solo every round stays at 0; process 1 solo reaches 3^r.
+	r := 4
+	soloP0 := make(iis.Schedule, r)
+	soloP1 := make(iis.Schedule, r)
+	for i := 0; i < r; i++ {
+		soloP0[i] = iis.Blocks{{0}, {1}}
+		soloP1[i] = iis.Blocks{{1}, {0}}
+	}
+	l0, err := RunIIS(soloP0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l0[0].Pos != 0 {
+		t.Errorf("p0 all-solo position = %d, want 0", l0[0].Pos)
+	}
+	l1, err := RunIIS(soloP1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1[1].Pos != Pow3(r) {
+		t.Errorf("p1 all-solo position = %d, want %d", l1[1].Pos, Pow3(r))
+	}
+}
+
+func TestDecideIISEpsAgreement(t *testing.T) {
+	// §8.1: the labelling protocol + f solves 1/3^r-agreement in the IIS
+	// model, verified over every schedule and input pair.
+	r := 3
+	den := Pow3(r)
+	for _, inputs := range [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		iis.ForEachSchedule(2, r, func(s iis.Schedule) bool {
+			ls, err := RunIIS(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n0, d0 := DecideIIS(0, inputs[0], inputs[1], ls[0])
+			n1, d1 := DecideIIS(1, inputs[1], inputs[0], ls[1])
+			// |n0/d0 - n1/d1| ≤ 1/den
+			lhs := n0*d1 - n1*d0
+			if lhs < 0 {
+				lhs = -lhs
+			}
+			if lhs*den > d0*d1 {
+				t.Fatalf("inputs %v schedule %v: decisions %d/%d, %d/%d not 1/%d-close",
+					inputs, s, n0, d0, n1, d1, den)
+			}
+			if inputs[0] == inputs[1] {
+				if n0*1 != inputs[0]*d0 || n1*1 != inputs[1]*d1 {
+					t.Fatalf("validity: inputs %v, decisions %d/%d, %d/%d", inputs, n0, d0, n1, d1)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestDecideIISSoloSeesNothing(t *testing.T) {
+	// A process that saw neither the other's input decides its own input.
+	l := Label{Pid: 0, Round: 3, Pos: 0}
+	if n, d := DecideIIS(0, 1, -1, l); n != 1 || d != 1 {
+		t.Errorf("decision %d/%d, want 1/1", n, d)
+	}
+}

@@ -1,0 +1,178 @@
+// Package memory implements the shared memory of the model: one SWMR
+// register per process (bounded or unbounded), the write-once input
+// registers I_1..I_n, and the derived operations collect and atomic
+// snapshot. The sched-aware bindings in this package charge exactly one
+// scheduler step per atomic operation.
+package memory
+
+import (
+	"fmt"
+
+	"repro/internal/register"
+	"repro/internal/sched"
+)
+
+// Value is a register content (alias of register.Value).
+type Value = register.Value
+
+// Shared is the shared memory for n processes: registers R_1..R_n of a
+// common width, and input registers I_1..I_n. It performs no internal
+// locking: atomicity comes from the scheduler runtime, which lets only one
+// process take a step at a time.
+type Shared struct {
+	regs   []*register.SWMR
+	inputs []*register.WriteOnce
+
+	reads, writes, snapshots int
+}
+
+// New returns a shared memory for n processes with registers of the given
+// width in bits (0 = unbounded). Coordination registers are initialized to
+// the zero word for bounded memories and to nil for unbounded ones,
+// matching the paper's initializations.
+func New(n, width int) *Shared {
+	m := &Shared{
+		regs:   make([]*register.SWMR, n),
+		inputs: make([]*register.WriteOnce, n),
+	}
+	for i := range m.regs {
+		var initial Value
+		if width > 0 {
+			initial = uint64(0)
+		}
+		m.regs[i] = register.NewSWMR(width, initial)
+		m.inputs[i] = register.NewWriteOnce()
+	}
+	return m
+}
+
+// N returns the number of processes (and registers).
+func (m *Shared) N() int { return len(m.regs) }
+
+// Width returns the register width in bits (0 = unbounded).
+func (m *Shared) Width() int { return m.regs[0].Width() }
+
+// Ops returns the operation counters (reads, writes, snapshots) accumulated
+// so far. Collect counts as one read per register.
+func (m *Shared) Ops() (reads, writes, snapshots int) {
+	return m.reads, m.writes, m.snapshots
+}
+
+// write stores v in register i (no scheduling; use Mem for model runs).
+func (m *Shared) write(i int, v Value) error {
+	m.writes++
+	if err := m.regs[i].Write(v); err != nil {
+		return fmt.Errorf("R%d: %w", i, err)
+	}
+	return nil
+}
+
+// read returns the content of register j.
+func (m *Shared) read(j int) Value {
+	m.reads++
+	return m.regs[j].Read()
+}
+
+// snapshot returns an atomic copy of all registers.
+func (m *Shared) snapshot() []Value {
+	m.snapshots++
+	out := make([]Value, len(m.regs))
+	for i, r := range m.regs {
+		out[i] = r.Read()
+	}
+	return out
+}
+
+// writeInput stores v in input register i (write-once).
+func (m *Shared) writeInput(i int, v Value) error {
+	if err := m.inputs[i].Write(v); err != nil {
+		return fmt.Errorf("I%d: %w", i, err)
+	}
+	return nil
+}
+
+// readInput returns the content of input register j, nil (⊥) if unwritten.
+func (m *Shared) readInput(j int) Value {
+	return m.inputs[j].Read()
+}
+
+// Peek returns the current content of register j without counting an
+// operation. It is intended for test assertions and StepWhen conditions,
+// not for protocol steps.
+func (m *Shared) Peek(j int) Value { return m.regs[j].Read() }
+
+// InputWritten reports whether input register I_j has been written. Like
+// Peek it counts no operation and is meant for StepWhen conditions.
+func (m *Shared) InputWritten(j int) bool { return m.inputs[j].Written() }
+
+// PeekAll returns a copy of all register contents without counting an
+// operation (for assertions).
+func (m *Shared) PeekAll() []Value {
+	out := make([]Value, len(m.regs))
+	for i, r := range m.regs {
+		out[i] = r.Read()
+	}
+	return out
+}
+
+// Mem binds a process handle to a shared memory. Every method performs
+// exactly one scheduler step, making it one atomic operation of the model.
+type Mem struct {
+	P *sched.Proc
+	S *Shared
+}
+
+// Bind returns the memory binding for process p.
+func Bind(p *sched.Proc, s *Shared) Mem { return Mem{P: p, S: s} }
+
+// Write writes v to the process's own register R_me (one step).
+func (pm Mem) Write(v Value) error {
+	pm.P.Step()
+	return pm.S.write(pm.P.ID, v)
+}
+
+// Read returns the content of register R_j (one step).
+func (pm Mem) Read(j int) Value {
+	pm.P.Step()
+	return pm.S.read(j)
+}
+
+// Snapshot returns an atomic snapshot of all registers (one step). The
+// model grants snapshot as a primitive; Lemma 2.3 (Borowsky-Gafni) shows
+// it is implementable from read/write, and package iis contains that
+// implementation in the iterated setting.
+func (pm Mem) Snapshot() []Value {
+	pm.P.Step()
+	return pm.S.snapshot()
+}
+
+// Collect reads all n registers one by one in index order (n steps).
+func (pm Mem) Collect() []Value {
+	out := make([]Value, pm.S.N())
+	for j := range out {
+		out[j] = pm.Read(j)
+	}
+	return out
+}
+
+// WriteInput writes the process's input to its write-once register I_me
+// (one step).
+func (pm Mem) WriteInput(v Value) error {
+	pm.P.Step()
+	return pm.S.writeInput(pm.P.ID, v)
+}
+
+// ReadInput returns the content of input register I_j (one step).
+func (pm Mem) ReadInput(j int) Value {
+	pm.P.Step()
+	return pm.S.readInput(j)
+}
+
+// AwaitRead blocks until cond holds of register R_j's content, then reads
+// it (one step). It stands for the fair busy-wait loops of the paper's
+// §6 constructions: the process is simply not enabled until the condition
+// holds, which keeps executions finite while preserving solvability.
+func (pm Mem) AwaitRead(j int, cond func(Value) bool) Value {
+	pm.P.StepWhen(func() bool { return cond(pm.S.Peek(j)) })
+	return pm.S.read(j)
+}

@@ -1,0 +1,180 @@
+package msgpass
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind enumerates the message types of the ABD register emulation.
+type Kind uint8
+
+// Message kinds.
+const (
+	KWrite Kind = iota + 1
+	KWriteAck
+	KRead
+	KReadReply
+	KWriteBack
+	KWriteBackAck
+)
+
+// Message is one message of the emulation. Hist carries a register value:
+// the history of estimate numerators written so far (the algorithm of
+// §6 runs full-information over unbounded registers; boundedness enters
+// only through the link encoding of stage B).
+type Message struct {
+	// UID identifies the message network-wide (origin node and sequence
+	// number); flooding over the t-augmented ring dedupes on it.
+	UID uint64
+	// Src and Dst are the endpoints (Dst is the final destination; the
+	// message may traverse intermediate nodes).
+	Src, Dst int
+	Kind     Kind
+	// Reg is the register index (its single writer's id).
+	Reg int
+	// Ts is the writer's timestamp.
+	Ts int64
+	// Rid matches replies to the client operation that issued the request.
+	Rid int64
+	// Hist is the register value (nil when absent).
+	Hist []int64
+}
+
+// Encode serializes the message into a compact byte string, the payload
+// the alternating-bit links transmit bit by bit.
+func (m *Message) Encode() []byte {
+	buf := make([]byte, 0, 32+8*len(m.Hist))
+	buf = binary.AppendUvarint(buf, m.UID)
+	buf = binary.AppendUvarint(buf, uint64(m.Src))
+	buf = binary.AppendUvarint(buf, uint64(m.Dst))
+	buf = append(buf, byte(m.Kind))
+	buf = binary.AppendUvarint(buf, uint64(m.Reg))
+	buf = binary.AppendVarint(buf, m.Ts)
+	buf = binary.AppendVarint(buf, m.Rid)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Hist)))
+	for _, v := range m.Hist {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
+}
+
+// DecodeMessage parses a byte string produced by Encode.
+func DecodeMessage(buf []byte) (*Message, error) {
+	m := &Message{}
+	pos := 0
+	uv := func() (uint64, error) {
+		v, k := binary.Uvarint(buf[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("msgpass: truncated message")
+		}
+		pos += k
+		return v, nil
+	}
+	sv := func() (int64, error) {
+		v, k := binary.Varint(buf[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("msgpass: truncated message")
+		}
+		pos += k
+		return v, nil
+	}
+	var err error
+	if m.UID, err = uv(); err != nil {
+		return nil, err
+	}
+	v, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	m.Src = int(v)
+	if v, err = uv(); err != nil {
+		return nil, err
+	}
+	m.Dst = int(v)
+	if pos >= len(buf) {
+		return nil, fmt.Errorf("msgpass: truncated message")
+	}
+	m.Kind = Kind(buf[pos])
+	pos++
+	if v, err = uv(); err != nil {
+		return nil, err
+	}
+	m.Reg = int(v)
+	if m.Ts, err = sv(); err != nil {
+		return nil, err
+	}
+	if m.Rid, err = sv(); err != nil {
+		return nil, err
+	}
+	count, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	if count > 0 {
+		m.Hist = make([]int64, count)
+		for i := range m.Hist {
+			if m.Hist[i], err = sv(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("msgpass: %d trailing bytes", len(buf)-pos)
+	}
+	return m, nil
+}
+
+// FrameBits converts a payload to the paper's link framing: the data bits
+// b_1..b_k (LSB-first per byte) interleaved with separators — a 0 after
+// every data bit except the last, which is followed by a 1 marking the
+// end of the message (§6: "m is encoded by inserting 0 between each bit
+// and adding a 1 at the end").
+func FrameBits(payload []byte) []uint64 {
+	var bits []uint64
+	total := len(payload) * 8
+	idx := 0
+	for _, b := range payload {
+		for j := 0; j < 8; j++ {
+			bits = append(bits, uint64((b>>j)&1))
+			idx++
+			if idx == total {
+				bits = append(bits, 1)
+			} else {
+				bits = append(bits, 0)
+			}
+		}
+	}
+	return bits
+}
+
+// BitAssembler reconstructs payloads from a framed bit stream.
+type BitAssembler struct {
+	data    []uint64
+	haveBit bool
+	pending uint64
+}
+
+// Push consumes one link bit and returns a completed payload when the
+// end-of-message separator arrives.
+func (a *BitAssembler) Push(bit uint64) ([]byte, error) {
+	if !a.haveBit {
+		a.pending = bit
+		a.haveBit = true
+		return nil, nil
+	}
+	a.haveBit = false
+	a.data = append(a.data, a.pending)
+	if bit == 0 {
+		return nil, nil
+	}
+	// End of message: pack bits into bytes.
+	if len(a.data)%8 != 0 {
+		return nil, fmt.Errorf("msgpass: framed message of %d bits not byte-aligned", len(a.data))
+	}
+	payload := make([]byte, len(a.data)/8)
+	for i, b := range a.data {
+		payload[i/8] |= byte(b) << (i % 8)
+	}
+	a.data = nil
+	return payload, nil
+}

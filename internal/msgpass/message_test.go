@@ -1,0 +1,144 @@
+package msgpass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageEncodeDecode(t *testing.T) {
+	m := &Message{
+		UID: 1<<32 | 7, Src: 2, Dst: 0, Kind: KReadReply,
+		Reg: 1, Ts: -3, Rid: 42, Hist: []int64{0, 1, -5, 1 << 40},
+	}
+	got, err := DecodeMessage(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UID != m.UID || got.Src != m.Src || got.Dst != m.Dst ||
+		got.Kind != m.Kind || got.Reg != m.Reg || got.Ts != m.Ts || got.Rid != m.Rid {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+	if len(got.Hist) != len(m.Hist) {
+		t.Fatalf("hist = %v", got.Hist)
+	}
+	for i := range m.Hist {
+		if got.Hist[i] != m.Hist[i] {
+			t.Fatalf("hist[%d] = %d, want %d", i, got.Hist[i], m.Hist[i])
+		}
+	}
+}
+
+func TestMessageEncodeDecodeQuick(t *testing.T) {
+	f := func(uid uint64, src, dst uint8, kind uint8, reg uint8, ts, rid int64, hist []int64) bool {
+		m := &Message{
+			UID: uid, Src: int(src), Dst: int(dst), Kind: Kind(kind%6 + 1),
+			Reg: int(reg), Ts: ts, Rid: rid, Hist: hist,
+		}
+		got, err := DecodeMessage(m.Encode())
+		if err != nil {
+			return false
+		}
+		if got.UID != m.UID || got.Kind != m.Kind || got.Ts != m.Ts || len(got.Hist) != len(m.Hist) {
+			return false
+		}
+		for i := range m.Hist {
+			if got.Hist[i] != m.Hist[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMessageRejectsGarbage(t *testing.T) {
+	if _, err := DecodeMessage(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := DecodeMessage([]byte{0x80}); err == nil {
+		t.Error("truncated varint accepted")
+	}
+	m := &Message{Kind: KRead, Hist: []int64{1}}
+	buf := m.Encode()
+	if _, err := DecodeMessage(append(buf, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestFrameBitsStructure(t *testing.T) {
+	payload := []byte{0b10110010}
+	bits := FrameBits(payload)
+	if len(bits) != 16 {
+		t.Fatalf("frame length = %d, want 16", len(bits))
+	}
+	// Data bits at even indices, LSB first.
+	wantData := []uint64{0, 1, 0, 0, 1, 1, 0, 1}
+	for i, w := range wantData {
+		if bits[2*i] != w {
+			t.Errorf("data bit %d = %d, want %d", i, bits[2*i], w)
+		}
+	}
+	// Separators 0 except the terminal 1.
+	for i := 0; i < 7; i++ {
+		if bits[2*i+1] != 0 {
+			t.Errorf("separator %d = %d, want 0", i, bits[2*i+1])
+		}
+	}
+	if bits[15] != 1 {
+		t.Error("terminal separator not 1")
+	}
+}
+
+func TestBitAssemblerRoundTrip(t *testing.T) {
+	var asm BitAssembler
+	payloads := [][]byte{{0xAB}, {0x00, 0xFF, 0x13}, {1, 2, 3, 4, 5}}
+	var stream []uint64
+	for _, p := range payloads {
+		stream = append(stream, FrameBits(p)...)
+	}
+	var got [][]byte
+	for _, b := range stream {
+		p, err := asm.Push(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			got = append(got, p)
+		}
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("assembled %d payloads, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if string(got[i]) != string(payloads[i]) {
+			t.Fatalf("payload %d = %v, want %v", i, got[i], payloads[i])
+		}
+	}
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		var asm BitAssembler
+		for i, b := range FrameBits(payload) {
+			p, err := asm.Push(b)
+			if err != nil {
+				return false
+			}
+			if p != nil {
+				if i != len(FrameBits(payload))-1 {
+					return false
+				}
+				return string(p) == string(payload)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

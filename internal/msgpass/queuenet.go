@@ -1,0 +1,99 @@
+package msgpass
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sched"
+)
+
+// LinkLayer is a point-to-point transport over a topology. Sends are only
+// allowed along direct links; the routing above it (Node) handles
+// multi-hop delivery. Implementations charge scheduler steps for their
+// shared-state operations, so asynchrony and fairness come from the same
+// adversary that drives everything else.
+type LinkLayer interface {
+	Topo() Topology
+	// Send transmits m on the direct link p.ID → to (to ∈ Succ(p.ID)).
+	Send(p *sched.Proc, to int, m *Message) error
+	// RecvAny blocks until a message is available on any in-link of p.ID
+	// and returns it.
+	RecvAny(p *sched.Proc) (*Message, error)
+}
+
+// QueueNet is the plain asynchronous message-passing substrate: one
+// unbounded FIFO queue per directed link, reliable, with delivery order
+// across links chosen by a seeded RNG (the delivery adversary). Each send
+// and each receive is one scheduler step.
+type QueueNet struct {
+	topo   Topology
+	queues map[[2]int][]*Message
+	rng    *rand.Rand
+
+	// Sent and Delivered count link-level message events.
+	Sent, Delivered int
+}
+
+var _ LinkLayer = (*QueueNet)(nil)
+
+// NewQueueNet builds the substrate over the topology; seed drives the
+// cross-link delivery choice.
+func NewQueueNet(topo Topology, seed int64) *QueueNet {
+	return &QueueNet{
+		topo:   topo,
+		queues: make(map[[2]int][]*Message),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Topo implements LinkLayer.
+func (q *QueueNet) Topo() Topology { return q.topo }
+
+// Send implements LinkLayer.
+func (q *QueueNet) Send(p *sched.Proc, to int, m *Message) error {
+	if !contains(q.topo.Succ(p.ID), to) {
+		return fmt.Errorf("msgpass: no link %d→%d", p.ID, to)
+	}
+	p.Step()
+	key := [2]int{p.ID, to}
+	q.queues[key] = append(q.queues[key], m)
+	q.Sent++
+	return nil
+}
+
+// RecvAny implements LinkLayer: it blocks (disabled in the scheduler's
+// enabled set) until some in-link queue is non-empty, then dequeues from
+// a queue picked by the delivery adversary.
+func (q *QueueNet) RecvAny(p *sched.Proc) (*Message, error) {
+	me := p.ID
+	p.StepWhen(func() bool { return len(q.nonEmptyIn(me)) > 0 })
+	ready := q.nonEmptyIn(me)
+	if len(ready) == 0 {
+		return nil, fmt.Errorf("msgpass: RecvAny granted with no message")
+	}
+	from := ready[q.rng.Intn(len(ready))]
+	key := [2]int{from, me}
+	m := q.queues[key][0]
+	q.queues[key] = q.queues[key][1:]
+	q.Delivered++
+	return m, nil
+}
+
+func (q *QueueNet) nonEmptyIn(me int) []int {
+	var out []int
+	for _, from := range q.topo.Pred(me) {
+		if len(q.queues[[2]int{from, me}]) > 0 {
+			out = append(out, from)
+		}
+	}
+	return out
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

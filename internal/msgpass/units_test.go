@@ -1,0 +1,363 @@
+package msgpass
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestQueueNetFIFOPerLink checks that a link delivers its messages in
+// send order (the model's channels are FIFO, §6 phase 1).
+func TestQueueNetFIFOPerLink(t *testing.T) {
+	topo := Complete{Nodes: 2}
+	qn := NewQueueNet(topo, 1)
+	var got []int64
+	procs := []sched.ProcFunc{
+		func(p *sched.Proc) error {
+			for i := int64(1); i <= 5; i++ {
+				if err := qn.Send(p, 1, &Message{UID: uint64(i), Src: 0, Dst: 1, Kind: KRead, Rid: i}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(p *sched.Proc) error {
+			for i := 0; i < 5; i++ {
+				m, err := qn.RecvAny(p)
+				if err != nil {
+					return err
+				}
+				got = append(got, m.Rid)
+			}
+			return nil
+		},
+	}
+	res, err := sched.Run(sched.Config{Scheduler: sched.NewRandom(9)}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.Err(); e != nil {
+		t.Fatal(e)
+	}
+	for i, v := range got {
+		if v != int64(i+1) {
+			t.Fatalf("delivery order %v not FIFO", got)
+		}
+	}
+	if qn.Sent != 5 || qn.Delivered != 5 {
+		t.Fatalf("Sent=%d Delivered=%d", qn.Sent, qn.Delivered)
+	}
+}
+
+// TestQueueNetRejectsNonLink checks topology enforcement.
+func TestQueueNetRejectsNonLink(t *testing.T) {
+	ring, err := NewTAugmentedRing(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn := NewQueueNet(ring, 0)
+	procs := []sched.ProcFunc{
+		func(p *sched.Proc) error {
+			// Node 0's successors are {1,2}; 4 is not a link.
+			return qn.Send(p, 4, &Message{UID: 1, Src: 0, Dst: 4})
+		},
+	}
+	res, err := sched.Run(sched.Config{Scheduler: sched.Lowest{}}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errs[0] == nil {
+		t.Fatal("send over non-existent link accepted")
+	}
+}
+
+// TestABDSequentialSemantics: with processes running sequentially, a
+// remote ABD read returns the last completed ABD write.
+func TestABDSequentialSemantics(t *testing.T) {
+	topo := Complete{Nodes: 3}
+	qn := NewQueueNet(topo, 2)
+	var got []int64
+	procs := []sched.ProcFunc{
+		func(p *sched.Proc) error {
+			nd := NewNode(p, qn, 1, false)
+			if err := nd.ABDWrite([]int64{7, 8}); err != nil {
+				return err
+			}
+			return nd.ServeForever()
+		},
+		func(p *sched.Proc) error {
+			nd := NewNode(p, qn, 1, false)
+			// Wait until node 0's write has certainly completed: it
+			// completes before node 1 starts under the Sequential order
+			// below... node 0 blocks in ServeForever, so node 1 runs
+			// after the write finished.
+			h, err := nd.ABDRead(0)
+			if err != nil {
+				return err
+			}
+			got = h
+			return nd.ServeForever()
+		},
+		func(p *sched.Proc) error {
+			nd := NewNode(p, qn, 1, false)
+			return nd.ServeForever()
+		},
+	}
+	// Order: run 0 until it parks (write complete), then 1, with 2
+	// serving in between as needed — a fair random scheduler realizes
+	// this because 0's write blocks until quorum acks arrive.
+	res, err := sched.Run(sched.Config{Scheduler: sched.NewRandom(4), MaxSteps: 1 << 16}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range res.Errs {
+		if e != nil {
+			t.Fatalf("node %d: %v", i, e)
+		}
+	}
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("ABD read returned %v, want [7 8]", got)
+	}
+}
+
+// TestABDTimestampsMonotone: repeated writes by the same writer carry
+// strictly increasing timestamps, and a reader adopts the newest.
+func TestABDTimestampsMonotone(t *testing.T) {
+	topo := Complete{Nodes: 3}
+	qn := NewQueueNet(topo, 3)
+	var got []int64
+	procs := []sched.ProcFunc{
+		func(p *sched.Proc) error {
+			nd := NewNode(p, qn, 1, false)
+			for i := int64(1); i <= 3; i++ {
+				if err := nd.ABDWrite([]int64{i}); err != nil {
+					return err
+				}
+			}
+			return nd.ServeForever()
+		},
+		func(p *sched.Proc) error {
+			nd := NewNode(p, qn, 1, false)
+			prev := int64(-1)
+			for i := 0; i < 4; i++ {
+				h, err := nd.ABDRead(0)
+				if err != nil {
+					return err
+				}
+				var cur int64
+				if len(h) == 1 {
+					cur = h[0]
+				}
+				if cur < prev {
+					t.Errorf("reads regressed: %d after %d", cur, prev)
+				}
+				prev = cur
+			}
+			got = append(got, prev)
+			return nd.ServeForever()
+		},
+		func(p *sched.Proc) error {
+			nd := NewNode(p, qn, 1, false)
+			return nd.ServeForever()
+		},
+	}
+	res, err := sched.Run(sched.Config{Scheduler: sched.NewRandom(8), MaxSteps: 1 << 18}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range res.Errs {
+		if e != nil {
+			t.Fatalf("node %d: %v", i, e)
+		}
+	}
+	_ = got
+}
+
+// TestFloodingReachesNonNeighbor: on a sparse ring, a message to a
+// non-neighbour is flooded and arrives exactly once (deduplication).
+func TestFloodingReachesNonNeighbor(t *testing.T) {
+	ring, err := NewTAugmentedRing(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn := NewQueueNet(ring, 5)
+	delivered := 0
+	procs := make([]sched.ProcFunc, 7)
+	procs[0] = func(p *sched.Proc) error {
+		nd := NewNode(p, qn, 1, false)
+		// Node 4 is 4 hops away on the t=1 ring (successors {1,2}).
+		if err := nd.sendTo(4, Message{Kind: KRead, Reg: 0, Rid: 99}); err != nil {
+			return err
+		}
+		return nd.ServeForever()
+	}
+	for i := 1; i < 7; i++ {
+		procs[i] = func(p *sched.Proc) error {
+			nd := NewNode(p, qn, 1, false)
+			for {
+				m, err := nd.recvApp()
+				if err != nil {
+					return err
+				}
+				if m.Rid == 99 && p.ID == 4 {
+					delivered++
+				}
+				_ = m
+			}
+		}
+	}
+	// recvApp never returns KRead (it serves it); intercept differently:
+	// node 4's server replies to the read, so node 0's recvApp gets a
+	// KReadReply with Rid 99.
+	procs[0] = func(p *sched.Proc) error {
+		nd := NewNode(p, qn, 1, false)
+		if err := nd.sendTo(4, Message{Kind: KRead, Reg: 0, Rid: 99}); err != nil {
+			return err
+		}
+		m, err := nd.recvApp()
+		if err != nil {
+			return err
+		}
+		if m.Kind == KReadReply && m.Rid == 99 && m.Src == 4 {
+			delivered++
+		}
+		return nd.ServeForever()
+	}
+	for i := 1; i < 7; i++ {
+		procs[i] = func(p *sched.Proc) error {
+			nd := NewNode(p, qn, 1, false)
+			return nd.ServeForever()
+		}
+	}
+	res, err := sched.Run(sched.Config{Scheduler: sched.NewRandom(6), MaxSteps: 1 << 18}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range res.Errs {
+		if e != nil {
+			t.Fatalf("node %d: %v", i, e)
+		}
+	}
+	if delivered != 1 {
+		t.Fatalf("reply delivered %d times, want exactly 1", delivered)
+	}
+}
+
+// TestBitNetSingleLink transmits one message over an alternating-bit
+// link and counts the exact number of link bits.
+func TestBitNetSingleLink(t *testing.T) {
+	ring, err := NewTAugmentedRing(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn := NewBitNet(ring)
+	if bn.RegisterBits() != 6 {
+		t.Fatalf("register bits = %d", bn.RegisterBits())
+	}
+	want := &Message{UID: 42, Src: 0, Dst: 1, Kind: KWrite, Reg: 0, Ts: 5, Rid: 1, Hist: []int64{3, -4}}
+	frameLen := len(FrameBits(want.Encode()))
+	var got *Message
+	procs := []sched.ProcFunc{
+		func(p *sched.Proc) error {
+			if err := bn.Send(p, 1, want); err != nil {
+				return err
+			}
+			// Pump until the message has fully left (all bits acked).
+			for {
+				p.StepWhen(func() bool { return bn.progress(0) })
+				if err := bn.pump(p); err != nil {
+					return err
+				}
+			}
+		},
+		func(p *sched.Proc) error {
+			m, err := bn.RecvAny(p)
+			if err != nil {
+				return err
+			}
+			got = m
+			return nil
+		},
+		func(p *sched.Proc) error { return nil },
+	}
+	res, err := sched.Run(sched.Config{Scheduler: sched.NewRandom(2), MaxSteps: 1 << 16}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res // sender parks forever once drained; runner reports deadlock
+	if got == nil {
+		t.Fatal("message not delivered")
+	}
+	if got.UID != want.UID || got.Kind != want.Kind || got.Ts != want.Ts ||
+		len(got.Hist) != 2 || got.Hist[0] != 3 || got.Hist[1] != -4 {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if bn.Bits != frameLen {
+		t.Fatalf("link bits = %d, want frame length %d", bn.Bits, frameLen)
+	}
+}
+
+// TestBitNetBackToBackMessages checks framing across consecutive
+// messages on the same link.
+func TestBitNetBackToBackMessages(t *testing.T) {
+	ring, err := NewTAugmentedRing(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn := NewBitNet(ring)
+	var got []int64
+	procs := []sched.ProcFunc{
+		func(p *sched.Proc) error {
+			for i := int64(1); i <= 3; i++ {
+				if err := bn.Send(p, 1, &Message{UID: uint64(i), Src: 0, Dst: 1, Kind: KRead, Rid: i}); err != nil {
+					return err
+				}
+			}
+			for {
+				p.StepWhen(func() bool { return bn.progress(0) })
+				if err := bn.pump(p); err != nil {
+					return err
+				}
+			}
+		},
+		func(p *sched.Proc) error {
+			for i := 0; i < 3; i++ {
+				m, err := bn.RecvAny(p)
+				if err != nil {
+					return err
+				}
+				got = append(got, m.Rid)
+			}
+			return nil
+		},
+		func(p *sched.Proc) error { return nil },
+	}
+	if _, err := sched.Run(sched.Config{Scheduler: sched.NewRandom(3), MaxSteps: 1 << 18}, procs); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3] in order", got)
+	}
+}
+
+// TestBitNetWidthNeverExceeded: the pipeline's stage B memory reports no
+// width violations (they would surface as process errors) and the
+// register word stays within 3(t+1) bits.
+func TestBitNetWidthNeverExceeded(t *testing.T) {
+	inputs := []int64{1, 0, 1}
+	pr, err := RunPipeline(PipelineConfig{
+		Stage: StageBitRing, N: 3, T: 1, Rounds: 1,
+		Inputs: inputs, Scheduler: sched.NewRandom(12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range pr.Res.Errs {
+		if e != nil {
+			t.Fatalf("node %d: %v", i, e)
+		}
+	}
+	if err := pr.Check(inputs, 1); err != nil {
+		t.Fatal(err)
+	}
+}

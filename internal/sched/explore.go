@@ -1,0 +1,67 @@
+package sched
+
+import "fmt"
+
+// Explore enumerates every crash-free interleaving of a deterministic
+// system and calls visit on each complete execution. Because processes are
+// deterministic, the execution space is the tree of scheduler choices; the
+// explorer walks it by replay DFS, re-running the system once per leaf
+// with a forced prefix of choices.
+//
+// factory must build a fresh, deterministic instance of the system (fresh
+// shared memory and process closures) on every call.
+//
+// Explore stops early and returns ErrExploreLimit if more than maxRuns
+// executions are visited (maxRuns <= 0 means no limit). If visit returns
+// false, exploration stops without error.
+func Explore(factory func() []ProcFunc, maxSteps, maxRuns int, visit func(*Result) bool) (int, error) {
+	runs := 0
+	var dfs func(prefix []int) (bool, error)
+	dfs = func(prefix []int) (bool, error) {
+		if maxRuns > 0 && runs >= maxRuns {
+			return false, ErrExploreLimit
+		}
+		sch := &Replay{Prefix: prefix}
+		res, err := Run(Config{Scheduler: sch, MaxSteps: maxSteps}, factory())
+		if err != nil {
+			return false, err
+		}
+		runs++
+		if !visit(res) {
+			return false, nil
+		}
+		// Branch on every decision point after the forced prefix, deepest
+		// first so that prefixes are extended before siblings (ordering is
+		// irrelevant for coverage; this keeps the recursion simple).
+		for i := len(res.Decisions) - 1; i >= len(prefix); i-- {
+			chosen := res.Decisions[i].Pid
+			for _, alt := range res.EnabledSets[i] {
+				if alt <= chosen {
+					continue
+				}
+				branch := make([]int, i+1)
+				for j := 0; j < i; j++ {
+					branch[j] = res.Decisions[j].Pid
+				}
+				branch[i] = alt
+				if cont, err := dfs(branch); err != nil || !cont {
+					return cont, err
+				}
+			}
+		}
+		return true, nil
+	}
+	_, err := dfs(nil)
+	return runs, err
+}
+
+// ErrExploreLimit reports that Explore hit its maxRuns bound.
+var ErrExploreLimit = fmt.Errorf("sched: exploration run limit reached")
+
+// ExploreAll is Explore with visit always continuing and no run limit.
+func ExploreAll(factory func() []ProcFunc, maxSteps int, visit func(*Result)) (int, error) {
+	return Explore(factory, maxSteps, 0, func(r *Result) bool {
+		visit(r)
+		return true
+	})
+}

@@ -1,0 +1,316 @@
+// Package sched implements the asynchronous execution model of the paper:
+// n deterministic processes take atomic steps on a shared memory, with the
+// interleaving chosen by an adversary (the Scheduler), and crash failures
+// that permanently stop a process.
+//
+// Each process runs in its own goroutine (goroutines model asynchrony) but
+// every shared-memory operation is gated by a step handshake with a central
+// runner: the process announces that it is ready, blocks, and proceeds only
+// when the scheduler grants it the step. Only the granted process runs
+// between grants, so register operations are atomic exactly as in the
+// paper's model (§2: "two concurrent accesses to a same register never
+// occur").
+//
+// Crashes are scheduler decisions: a process whose step request is answered
+// with a crash unwinds its goroutine and never takes another step.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Decision is a scheduler's answer: which process takes the next step, and
+// whether that process instead crashes (takes no step, now or ever).
+// Pid == Halt stops the execution, crashing every remaining process.
+type Decision struct {
+	Pid   int
+	Crash bool
+}
+
+// Halt is the Decision.Pid value that stops the execution.
+const Halt = -1
+
+// Scheduler chooses the next step among the enabled processes. enabled is
+// sorted ascending and non-empty. The returned Pid must be an element of
+// enabled, or Halt.
+type Scheduler interface {
+	Next(enabled []int) Decision
+}
+
+// ProcFunc is the code of one process. It must perform every shared-memory
+// operation through the Proc handle (directly or via a memory binding).
+// Returning a non-nil error marks the process as failed in the Result.
+type ProcFunc func(p *Proc) error
+
+// Config configures a run.
+type Config struct {
+	// Scheduler chooses interleavings and crashes. Required.
+	Scheduler Scheduler
+	// MaxSteps bounds the total number of steps across all processes; the
+	// run is aborted (Result.BudgetExceeded) beyond it. 0 means a default
+	// of 1<<22.
+	MaxSteps int
+}
+
+// DefaultMaxSteps is the step budget used when Config.MaxSteps is 0.
+const DefaultMaxSteps = 1 << 22
+
+// Result describes a completed execution.
+type Result struct {
+	// Steps[i] is the number of steps taken by process i.
+	Steps []int
+	// TotalSteps is the sum of Steps.
+	TotalSteps int
+	// Crashed[i] reports whether process i was crashed by the adversary.
+	Crashed []bool
+	// Errs[i] is the error returned by process i (nil for crashed procs).
+	Errs []error
+	// Decisions is the sequence of scheduler decisions, in order.
+	Decisions []Decision
+	// EnabledSets[k] is the sorted enabled set presented to the scheduler
+	// for Decisions[k]. Used by the exhaustive explorer.
+	EnabledSets [][]int
+	// Deadlocked reports that at some point every live process was blocked
+	// on an unsatisfied StepWhen condition. Remaining processes were
+	// crashed to unwind.
+	Deadlocked bool
+	// BudgetExceeded reports that MaxSteps was hit.
+	BudgetExceeded bool
+}
+
+// Correct reports whether process i is correct in this execution: it was
+// not crashed and returned no error.
+func (r *Result) Correct(i int) bool {
+	return !r.Crashed[i] && r.Errs[i] == nil
+}
+
+// Err returns the first process error, the deadlock error, or the budget
+// error, if any.
+func (r *Result) Err() error {
+	if r.BudgetExceeded {
+		return ErrBudget
+	}
+	if r.Deadlocked {
+		return ErrDeadlock
+	}
+	for i, err := range r.Errs {
+		if err != nil {
+			return fmt.Errorf("process %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+var (
+	// ErrDeadlock reports that all live processes were blocked on
+	// unsatisfiable StepWhen conditions.
+	ErrDeadlock = errors.New("sched: deadlock (all live processes blocked)")
+	// ErrBudget reports that the step budget was exhausted.
+	ErrBudget = errors.New("sched: step budget exceeded")
+)
+
+// crashSignal unwinds a crashed process's goroutine. It never escapes the
+// package: the per-process wrapper recovers it.
+type crashSignal struct{}
+
+type announceMsg struct {
+	pid   int
+	ready func() bool // nil: always enabled
+}
+
+type exitMsg struct {
+	pid     int
+	err     error
+	crashed bool
+}
+
+// Proc is a process's handle onto the runtime. Shared-memory bindings call
+// Step (or StepWhen) exactly once per atomic operation.
+type Proc struct {
+	// ID is the process index in 0..n-1.
+	ID int
+	// N is the number of processes in the system.
+	N int
+
+	r *runner
+}
+
+// Step blocks until the scheduler grants this process its next atomic step.
+// If the adversary crashes the process instead, the goroutine unwinds (the
+// process function never resumes).
+func (p *Proc) Step() { p.StepWhen(nil) }
+
+// StepWhen is Step with an enabling condition: the scheduler will only
+// grant the step while ready() holds. It models waiting (e.g. for a
+// message or a register change) without unbounded busy-wait polling: the
+// process is simply not enabled until the condition is true. ready is
+// evaluated by the runner while all processes are parked, so it may read
+// shared state without races.
+func (p *Proc) StepWhen(ready func() bool) {
+	p.r.announce <- announceMsg{pid: p.ID, ready: ready}
+	if granted := <-p.r.grants[p.ID]; !granted {
+		panic(crashSignal{})
+	}
+}
+
+type runner struct {
+	n        int
+	announce chan announceMsg
+	grants   []chan bool
+	exit     chan exitMsg
+}
+
+// Run executes the processes under the configured scheduler until every
+// process has returned, crashed, or the run is aborted (deadlock/budget).
+// The returned error is non-nil only for configuration mistakes; execution
+// outcomes (including deadlock) are reported in the Result.
+func Run(cfg Config, procs []ProcFunc) (*Result, error) {
+	n := len(procs)
+	if n == 0 {
+		return nil, errors.New("sched: no processes")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("sched: nil scheduler")
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	r := &runner{
+		n:        n,
+		announce: make(chan announceMsg),
+		grants:   make([]chan bool, n),
+		exit:     make(chan exitMsg),
+	}
+	for i := range r.grants {
+		r.grants[i] = make(chan bool)
+	}
+
+	for i, fn := range procs {
+		go runProc(r, i, n, fn)
+	}
+
+	res := &Result{
+		Steps:   make([]int, n),
+		Crashed: make([]bool, n),
+		Errs:    make([]error, n),
+	}
+
+	live := n
+	parked := make(map[int]func() bool, n)
+	for live > 0 {
+		// Gather until every live process is parked at a step request.
+		for len(parked) < live {
+			select {
+			case m := <-r.announce:
+				parked[m.pid] = m.ready
+			case e := <-r.exit:
+				live--
+				if e.crashed {
+					res.Crashed[e.pid] = true
+				} else {
+					res.Errs[e.pid] = e.err
+				}
+			}
+		}
+		if live == 0 {
+			break
+		}
+
+		enabled := make([]int, 0, len(parked))
+		for pid, cond := range parked {
+			if cond == nil || cond() {
+				enabled = append(enabled, pid)
+			}
+		}
+		sort.Ints(enabled)
+
+		abort := false
+		var d Decision
+		switch {
+		case len(enabled) == 0:
+			res.Deadlocked = true
+			abort = true
+		case res.TotalSteps >= maxSteps:
+			res.BudgetExceeded = true
+			abort = true
+		default:
+			d = cfg.Scheduler.Next(enabled)
+			if d.Pid == Halt {
+				abort = true
+			} else if !contains(enabled, d.Pid) {
+				return nil, fmt.Errorf("sched: scheduler chose pid %d not in enabled set %v", d.Pid, enabled)
+			}
+		}
+
+		if abort {
+			// Crash every parked process to unwind its goroutine.
+			for pid := range parked {
+				delete(parked, pid)
+				r.grants[pid] <- false
+				e := <-r.exit
+				live--
+				res.Crashed[e.pid] = true
+			}
+			// Any processes currently running an op will park or exit.
+			for live > 0 {
+				select {
+				case m := <-r.announce:
+					r.grants[m.pid] <- false
+					e := <-r.exit
+					live--
+					res.Crashed[e.pid] = true
+				case e := <-r.exit:
+					live--
+					if e.crashed {
+						res.Crashed[e.pid] = true
+					} else {
+						res.Errs[e.pid] = e.err
+					}
+				}
+			}
+			break
+		}
+
+		res.Decisions = append(res.Decisions, d)
+		res.EnabledSets = append(res.EnabledSets, enabled)
+		delete(parked, d.Pid)
+		if d.Crash {
+			r.grants[d.Pid] <- false
+			e := <-r.exit
+			live--
+			res.Crashed[e.pid] = true
+			continue
+		}
+		res.Steps[d.Pid]++
+		res.TotalSteps++
+		r.grants[d.Pid] <- true
+	}
+	return res, nil
+}
+
+func runProc(r *runner, id, n int, fn ProcFunc) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(crashSignal); ok {
+				r.exit <- exitMsg{pid: id, crashed: true}
+				return
+			}
+			panic(rec)
+		}
+	}()
+	err := fn(&Proc{ID: id, N: n, r: r})
+	r.exit <- exitMsg{pid: id, err: err}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+package sched
+
+import "math/rand"
+
+// Lowest always grants the lowest-numbered enabled process. It is the
+// canonical deterministic policy and the default continuation used by the
+// exhaustive explorer.
+type Lowest struct{}
+
+// Next implements Scheduler.
+func (Lowest) Next(enabled []int) Decision { return Decision{Pid: enabled[0]} }
+
+// RoundRobin cycles through process ids, granting the next enabled process
+// after the previously granted one. It is a fair scheduler.
+type RoundRobin struct {
+	last int // last granted pid; zero value starts at process 0
+	init bool
+}
+
+// Next implements Scheduler.
+func (s *RoundRobin) Next(enabled []int) Decision {
+	if !s.init {
+		s.init = true
+		s.last = enabled[0]
+		return Decision{Pid: s.last}
+	}
+	for _, pid := range enabled {
+		if pid > s.last {
+			s.last = pid
+			return Decision{Pid: pid}
+		}
+	}
+	s.last = enabled[0]
+	return Decision{Pid: s.last}
+}
+
+// Random grants a uniformly random enabled process. It is fair with
+// probability 1. The seed makes runs reproducible.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded random scheduler.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (s *Random) Next(enabled []int) Decision {
+	return Decision{Pid: enabled[s.rng.Intn(len(enabled))]}
+}
+
+// Solo runs process Pid alone while it is enabled, then halts the
+// execution (everyone else is considered crashed from the start). It
+// realizes the paper's solo executions.
+type Solo struct {
+	// Pid is the process that runs solo.
+	Pid int
+}
+
+// Next implements Scheduler.
+func (s Solo) Next(enabled []int) Decision {
+	for _, pid := range enabled {
+		if pid == s.Pid {
+			return Decision{Pid: pid}
+		}
+	}
+	return Decision{Pid: Halt}
+}
+
+// Sequential runs the processes one after the other in the given order:
+// each process runs to completion (or until it blocks forever) before the
+// next one starts. It realizes the paper's "p3 starts after p1 and p2 have
+// terminated" scenarios.
+type Sequential struct {
+	// Order lists the pids in activation order. Processes not listed are
+	// never scheduled (crashed at start).
+	Order []int
+}
+
+// Next implements Scheduler.
+func (s Sequential) Next(enabled []int) Decision {
+	for _, want := range s.Order {
+		for _, pid := range enabled {
+			if pid == want {
+				return Decision{Pid: pid}
+			}
+		}
+	}
+	return Decision{Pid: Halt}
+}
+
+// CrashAt wraps a scheduler and crashes given processes when their step
+// counter reaches a threshold: process pid is crashed just before taking
+// its Steps[pid]-th step (0 = crashed initially, before any step).
+type CrashAt struct {
+	// Inner chooses steps among processes not yet crashed.
+	Inner Scheduler
+	// Steps maps pid -> step index at which to crash it.
+	Steps map[int]int
+
+	taken   map[int]int
+	crashed map[int]bool
+}
+
+// NewCrashAt returns a crash-injecting wrapper around inner.
+func NewCrashAt(inner Scheduler, steps map[int]int) *CrashAt {
+	return &CrashAt{
+		Inner:   inner,
+		Steps:   steps,
+		taken:   make(map[int]int),
+		crashed: make(map[int]bool),
+	}
+}
+
+// Next implements Scheduler.
+func (s *CrashAt) Next(enabled []int) Decision {
+	// Crash any enabled process that has reached its threshold.
+	for _, pid := range enabled {
+		limit, ok := s.Steps[pid]
+		if ok && !s.crashed[pid] && s.taken[pid] >= limit {
+			s.crashed[pid] = true
+			return Decision{Pid: pid, Crash: true}
+		}
+	}
+	d := s.Inner.Next(enabled)
+	if d.Pid >= 0 && !d.Crash {
+		s.taken[d.Pid]++
+	}
+	return d
+}
+
+// Replay forces a prefix of pid choices, then delegates to Fallback
+// (Lowest if nil). If a forced pid is not enabled, the lowest enabled
+// process is chosen instead (the explorer never triggers this: it replays
+// prefixes observed on the same deterministic system).
+type Replay struct {
+	// Prefix is the forced sequence of pids.
+	Prefix []int
+	// Fallback continues after the prefix; Lowest{} if nil.
+	Fallback Scheduler
+
+	pos int
+}
+
+// Next implements Scheduler.
+func (s *Replay) Next(enabled []int) Decision {
+	if s.pos < len(s.Prefix) {
+		want := s.Prefix[s.pos]
+		s.pos++
+		if contains(enabled, want) {
+			return Decision{Pid: want}
+		}
+		return Decision{Pid: enabled[0]}
+	}
+	if s.Fallback == nil {
+		return Decision{Pid: enabled[0]}
+	}
+	return s.Fallback.Next(enabled)
+}

@@ -1,0 +1,59 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// isCell is one register's content for the one-shot immediate snapshot:
+// the participant's value and its current level.
+type isCell struct {
+	Val   memory.Value
+	Level int
+}
+
+// Immediate is the one-shot immediate snapshot object of Borowsky and
+// Gafni [11] (Lemma 2.3), built on one SWMR register per process: the
+// classic level-descent algorithm. Each process invokes WriteSnapshot
+// once; the returned views satisfy validity, self-containment, inclusion
+// and immediacy — the §7 "Preliminaries" properties.
+type Immediate struct {
+	PM memory.Mem
+}
+
+// NewImmediate binds the object to process pm.
+func NewImmediate(pm memory.Mem) *Immediate { return &Immediate{PM: pm} }
+
+// WriteSnapshot registers value v and returns an immediate snapshot:
+// entry j holds process j's value or nil. The process descends from
+// level n, announcing (v, level) and collecting, until the set S of
+// processes at level ≤ its own has size ≥ level; S is its snapshot.
+func (im *Immediate) WriteSnapshot(v memory.Value) ([]memory.Value, error) {
+	n := im.PM.S.N()
+	for level := n; level >= 1; level-- {
+		if err := im.PM.Write(isCell{Val: v, Level: level}); err != nil {
+			return nil, err
+		}
+		seen := make([]memory.Value, n)
+		count := 0
+		for j := 0; j < n; j++ {
+			raw := im.PM.Read(j)
+			if raw == nil {
+				continue
+			}
+			c, ok := raw.(isCell)
+			if !ok {
+				return nil, fmt.Errorf("snapshot: register %d holds %T", j, raw)
+			}
+			if c.Level <= level {
+				seen[j] = c.Val
+				count++
+			}
+		}
+		if count >= level {
+			return seen, nil
+		}
+	}
+	return nil, fmt.Errorf("snapshot: level descent exhausted (unreachable: self is at level 1)")
+}

@@ -1,0 +1,151 @@
+// Package snapshot implements the snapshot objects the paper assumes as
+// primitives, from plain read/write registers:
+//
+//   - the atomic snapshot of Afek, Attiya, Dolev, Gafni, Merritt, Shavit
+//     [2] (§2 "Snapshots and Immediate Snapshots"): wait-free
+//     linearizable scans via double collects with embedded views;
+//   - the one-shot immediate snapshot of Borowsky and Gafni [11]
+//     (Lemma 2.3): the recursive level-descent algorithm.
+//
+// Both run on the scheduler-gated shared memory, so their correctness is
+// checked over exhaustively enumerated interleavings (n = 2) and large
+// random schedule samples (n ≥ 3). The memory package's Snapshot
+// primitive is thereby justified inside the model rather than assumed.
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// cell is one register's content for the atomic snapshot object:
+// the current value, its sequence number, and the view embedded by the
+// writer's most recent update (the scan it performed while writing).
+type cell struct {
+	Val  memory.Value
+	Seq  int
+	View []memory.Value
+}
+
+// Atomic is a wait-free atomic snapshot object for n processes built on
+// one unbounded SWMR register per process [2]. Each process may Update
+// its component and Scan the whole array; scans are linearizable.
+type Atomic struct {
+	PM memory.Mem
+	// seq is this process's update counter.
+	seq int
+}
+
+// NewAtomic binds an atomic snapshot object to process pm.
+func NewAtomic(pm memory.Mem) *Atomic { return &Atomic{PM: pm} }
+
+// Update sets this process's component to v. It embeds a fresh scan in
+// the written cell so that concurrent scanners who see this register
+// move twice can borrow the view.
+func (a *Atomic) Update(v memory.Value) error {
+	view, err := a.Scan()
+	if err != nil {
+		return err
+	}
+	a.seq++
+	return a.PM.Write(cell{Val: v, Seq: a.seq, View: view})
+}
+
+// Scan returns a linearizable view of all components (nil for components
+// never updated). It repeats double collects; on two identical collects
+// the view is direct, and once some register has moved twice the scanner
+// returns that writer's embedded view, which was taken entirely within
+// the scanner's interval.
+func (a *Atomic) Scan() ([]memory.Value, error) {
+	n := a.PM.S.N()
+	moved := make([]int, n)
+	var prev []cell
+	for {
+		cur, err := a.collect()
+		if err != nil {
+			return nil, err
+		}
+		if prev != nil && sameCollect(prev, cur) {
+			out := make([]memory.Value, n)
+			for i, c := range cur {
+				out[i] = c.Val
+			}
+			return out, nil
+		}
+		if prev != nil {
+			for i := range cur {
+				if cur[i].Seq != prev[i].Seq {
+					moved[i]++
+					if moved[i] >= 2 {
+						// This writer performed a complete Update inside
+						// our scan: its embedded view is linearizable
+						// within our interval.
+						if cur[i].View == nil {
+							return nil, fmt.Errorf("snapshot: register %d moved twice with no embedded view", i)
+						}
+						return append([]memory.Value(nil), cur[i].View...), nil
+					}
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// collect reads all registers once (n steps), decoding cells.
+func (a *Atomic) collect() ([]cell, error) {
+	n := a.PM.S.N()
+	out := make([]cell, n)
+	for j := 0; j < n; j++ {
+		v := a.PM.Read(j)
+		if v == nil {
+			out[j] = cell{}
+			continue
+		}
+		c, ok := v.(cell)
+		if !ok {
+			return nil, fmt.Errorf("snapshot: register %d holds %T", j, v)
+		}
+		out[j] = c
+	}
+	return out, nil
+}
+
+func sameCollect(a, b []cell) bool {
+	for i := range a {
+		if a[i].Seq != b[i].Seq {
+			return false
+		}
+	}
+	return true
+}
+
+// VersionVector extracts the sequence numbers of a collect-like view for
+// linearizability checking: scans of an atomic snapshot object must have
+// pairwise comparable version vectors.
+func VersionVector(view []memory.Value) []int {
+	out := make([]int, len(view))
+	for i, v := range view {
+		if c, ok := v.(cell); ok {
+			out[i] = c.Seq
+		}
+	}
+	return out
+}
+
+// Comparable reports whether two version vectors are componentwise
+// comparable (a ≤ b or b ≤ a) — the linearizability witness for a pair
+// of scans.
+func Comparable(a, b []int) bool {
+	le, ge := true, true
+	for i := range a {
+		if a[i] > b[i] {
+			le = false
+		}
+		if a[i] < b[i] {
+			ge = false
+		}
+	}
+	return le || ge
+}

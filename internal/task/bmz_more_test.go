@@ -1,0 +1,162 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+// coveringFailureTask is solvable per-input (connected Δ(X)) but fails
+// the covering condition: a process that only knows x_0 = 1 cannot
+// commit to an output value safe for both extensions.
+func coveringFailureTask() *Task {
+	return &Task{
+		Name:    "covering-failure",
+		Inputs:  []Pair{{0, 0}, {0, 1}, {1, 0}, {1, 1}},
+		Outputs: []Pair{{0, 0}, {1, 1}},
+		Delta: map[Pair][]Pair{
+			{0, 0}: {{0, 0}},
+			{0, 1}: {{1, 1}},
+			{1, 0}: {{0, 0}},
+			{1, 1}: {{1, 1}},
+		},
+	}
+}
+
+func TestCoveringConditionFailsAlone(t *testing.T) {
+	tk := coveringFailureTask()
+	if err := tk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	err := tk.CheckSolvable(tk.Outputs)
+	if err == nil {
+		t.Fatal("covering-failure task accepted")
+	}
+	if !strings.Contains(err.Error(), "covering") {
+		t.Fatalf("expected a covering failure, got: %v", err)
+	}
+	if _, ok := tk.FindSolvableSubset(); ok {
+		t.Fatal("covering-failure task reported solvable via a subset")
+	}
+}
+
+func TestConnectivityFailureReported(t *testing.T) {
+	c := BinaryConsensus()
+	err := c.CheckSolvable(c.Outputs)
+	if err == nil {
+		t.Fatal("consensus accepted")
+	}
+	if !strings.Contains(err.Error(), "connectivity") {
+		t.Fatalf("expected a connectivity failure, got: %v", err)
+	}
+}
+
+func TestValidateCatchesBrokenTasks(t *testing.T) {
+	broken := &Task{
+		Name:    "broken",
+		Inputs:  []Pair{{0, 0}},
+		Outputs: []Pair{{0, 0}},
+		Delta:   map[Pair][]Pair{{0, 0}: {{9, 9}}},
+	}
+	if err := broken.Validate(); err == nil {
+		t.Fatal("Delta value outside outputs accepted")
+	}
+	empty := &Task{
+		Name:    "empty-delta",
+		Inputs:  []Pair{{0, 0}},
+		Outputs: []Pair{{0, 0}},
+		Delta:   map[Pair][]Pair{},
+	}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("input without Delta entry accepted")
+	}
+	stray := &Task{
+		Name:    "stray-key",
+		Inputs:  []Pair{{0, 0}},
+		Outputs: []Pair{{0, 0}},
+		Delta:   map[Pair][]Pair{{0, 0}: {{0, 0}}, {5, 5}: {{0, 0}}},
+	}
+	if err := stray.Validate(); err == nil {
+		t.Fatal("Delta key outside inputs accepted")
+	}
+}
+
+func TestPartialInputsAndExtensions(t *testing.T) {
+	tk := DiscreteEpsAgreement(2)
+	p1 := tk.PartialInputs(1) // missing process 1's input
+	if len(p1) != 2 {
+		t.Fatalf("partials = %v", p1)
+	}
+	for _, p := range p1 {
+		if p[1] != Bot {
+			t.Fatalf("partial %v keeps component 1", p)
+		}
+		exts := tk.Extensions(p)
+		if len(exts) != 2 {
+			t.Fatalf("extensions of %v = %v", p, exts)
+		}
+	}
+}
+
+func TestLegalPartial(t *testing.T) {
+	tk := DiscreteEpsAgreement(2)
+	// With input (0,1), a lone decision 0 by p0 extends to (0,0) or (0,1).
+	if !tk.LegalPartial(Pair{0, 1}, 0, 0) {
+		t.Error("decision 0 by p0 should be extendable")
+	}
+	// With input (0,0), the only legal output is (0,0): value 2 is not
+	// extendable.
+	if tk.LegalPartial(Pair{0, 0}, 0, 2) {
+		t.Error("decision 2 by p0 should not be extendable for (0,0)")
+	}
+}
+
+func TestPlanPathsPaddedFront(t *testing.T) {
+	// Padding duplicates Y_0 at the front, never disturbing the tail
+	// invariants (already checked elsewhere); the first two nodes of a
+	// padded path are equal iff padding occurred.
+	tk := CycleAgreement(6)
+	sub, ok := tk.FindSolvableSubset()
+	if !ok {
+		t.Fatal("cycle task unsolvable")
+	}
+	plan, err := tk.BuildPlan(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := 0
+	for _, x := range tk.Inputs {
+		for i := 0; i < 2; i++ {
+			path, _ := plan.Path(x, i)
+			if path[0] == path[1] {
+				padded++
+			}
+		}
+	}
+	if padded == 0 {
+		t.Skip("no padding needed for this task/plan size")
+	}
+}
+
+func TestChoiceTaskAlwaysLegal(t *testing.T) {
+	tk := ChoiceTask(3)
+	for _, x := range tk.Inputs {
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				if !tk.Legal(x, Pair{a, b}) {
+					t.Fatalf("choice task rejected (%d,%d)", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestAdjacencyIsSymmetric(t *testing.T) {
+	pairs := []Pair{{0, 0}, {0, 1}, {1, 0}, {2, 2}, {1, 2}}
+	for _, a := range pairs {
+		for _, b := range pairs {
+			if AdjacentOrEqual(a, b) != AdjacentOrEqual(b, a) {
+				t.Fatalf("asymmetric adjacency %v %v", a, b)
+			}
+		}
+	}
+}

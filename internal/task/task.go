@@ -1,0 +1,261 @@
+// Package task implements distributed tasks for two processes and the
+// paper's universal construction (§5.2): the Biran-Moran-Zaks graph
+// characterization of 1-resilient solvability (Lemma 5.7), the δ-map and
+// path machinery of §5.2.2, and Algorithm 2, which solves any wait-free
+// solvable 2-process task with registers of 3 bits (Theorem 1.2).
+package task
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bot is the missing component of a partial configuration (the paper's ⊥).
+const Bot = -1
+
+// Pair is a 2-process configuration: Pair[i] is process i's value, Bot if
+// missing. Inputs and outputs of a task are pairs of non-negative ints.
+type Pair [2]int
+
+// String formats the pair, showing ⊥ for missing components.
+func (p Pair) String() string {
+	f := func(v int) string {
+		if v == Bot {
+			return "⊥"
+		}
+		return fmt.Sprint(v)
+	}
+	return "(" + f(p[0]) + "," + f(p[1]) + ")"
+}
+
+// Partial returns the partial configuration X^i obtained from p by
+// removing component i.
+func (p Pair) Partial(i int) Pair {
+	q := p
+	q[i] = Bot
+	return q
+}
+
+// Extends reports whether p extends partial q (they agree wherever q is
+// not Bot).
+func (p Pair) Extends(q Pair) bool {
+	for i := 0; i < 2; i++ {
+		if q[i] != Bot && p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AdjacentOrEqual reports whether two full configurations differ in at
+// most one component (the edge relation of the graph G(O′) of §5.2.1,
+// plus equality).
+func AdjacentOrEqual(a, b Pair) bool {
+	diff := 0
+	for i := 0; i < 2; i++ {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	return diff <= 1
+}
+
+// Task is a 2-process task Π = (I, O, Δ). Delta maps each input
+// configuration to its set of legal output configurations.
+type Task struct {
+	Name    string
+	Inputs  []Pair
+	Outputs []Pair
+	Delta   map[Pair][]Pair
+}
+
+// Validate checks internal consistency: every Delta key is an input,
+// every Delta value is an output, every input has at least one legal
+// output.
+func (t *Task) Validate() error {
+	out := make(map[Pair]bool, len(t.Outputs))
+	for _, o := range t.Outputs {
+		out[o] = true
+	}
+	in := make(map[Pair]bool, len(t.Inputs))
+	for _, x := range t.Inputs {
+		in[x] = true
+	}
+	for x, ys := range t.Delta {
+		if !in[x] {
+			return fmt.Errorf("task %s: Delta key %v not an input", t.Name, x)
+		}
+		if len(ys) == 0 {
+			return fmt.Errorf("task %s: input %v has no legal output", t.Name, x)
+		}
+		for _, y := range ys {
+			if !out[y] {
+				return fmt.Errorf("task %s: Delta(%v) contains %v, not an output", t.Name, x, y)
+			}
+		}
+	}
+	for _, x := range t.Inputs {
+		if len(t.Delta[x]) == 0 {
+			return fmt.Errorf("task %s: input %v has no Delta entry", t.Name, x)
+		}
+	}
+	return nil
+}
+
+// Legal reports whether output configuration y is legal for input x.
+func (t *Task) Legal(x, y Pair) bool {
+	for _, cand := range t.Delta[x] {
+		if cand == y {
+			return true
+		}
+	}
+	return false
+}
+
+// LegalPartial reports whether a single decided value v by process i is
+// extendable to a legal output for input x (the correctness condition when
+// the other process crashed before deciding).
+func (t *Task) LegalPartial(x Pair, i, v int) bool {
+	for _, cand := range t.Delta[x] {
+		if cand[i] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// PartialInputs returns the set I^i of partial inputs missing component i,
+// sorted deterministically.
+func (t *Task) PartialInputs(i int) []Pair {
+	seen := map[Pair]bool{}
+	var out []Pair
+	for _, x := range t.Inputs {
+		p := x.Partial(i)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// Extensions returns the inputs of t extending partial p.
+func (t *Task) Extensions(p Pair) []Pair {
+	var out []Pair
+	for _, x := range t.Inputs {
+		if x.Extends(p) {
+			out = append(out, x)
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a][0] != ps[b][0] {
+			return ps[a][0] < ps[b][0]
+		}
+		return ps[a][1] < ps[b][1]
+	})
+}
+
+// --- Example tasks ---------------------------------------------------------
+
+// BinaryConsensus is the binary consensus task: both processes decide a
+// common input value. It is not 1-resilient solvable (Lemma 2.1); the BMZ
+// check (FindSolvableSubset) correctly rejects it, which the paper uses as
+// the engine of its impossibility results.
+func BinaryConsensus() *Task {
+	return &Task{
+		Name:    "binary-consensus",
+		Inputs:  []Pair{{0, 0}, {0, 1}, {1, 0}, {1, 1}},
+		Outputs: []Pair{{0, 0}, {1, 1}},
+		Delta: map[Pair][]Pair{
+			{0, 0}: {{0, 0}},
+			{1, 1}: {{1, 1}},
+			{0, 1}: {{0, 0}, {1, 1}},
+			{1, 0}: {{0, 0}, {1, 1}},
+		},
+	}
+}
+
+// DiscreteEpsAgreement is the discretized binary ε-agreement task with
+// ε = 1/L (§2): inputs are binary; outputs are values m ∈ {0..L} standing
+// for m/L; if both inputs are x, both must decide xL; otherwise any two
+// outputs at distance ≤ 1 are legal. It is wait-free solvable.
+func DiscreteEpsAgreement(l int) *Task {
+	t := &Task{
+		Name:   fmt.Sprintf("eps-agreement-1/%d", l),
+		Inputs: []Pair{{0, 0}, {0, 1}, {1, 0}, {1, 1}},
+	}
+	var mixed []Pair
+	for a := 0; a <= l; a++ {
+		for b := 0; b <= l; b++ {
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			if d <= 1 {
+				t.Outputs = append(t.Outputs, Pair{a, b})
+				mixed = append(mixed, Pair{a, b})
+			}
+		}
+	}
+	t.Delta = map[Pair][]Pair{
+		{0, 0}: {{0, 0}},
+		{1, 1}: {{l, l}},
+		{0, 1}: mixed,
+		{1, 0}: mixed,
+	}
+	return t
+}
+
+// ChoiceTask is a trivially solvable task: every combination of outputs
+// from {0..m-1} is legal for every input. Used as a positive control.
+func ChoiceTask(m int) *Task {
+	t := &Task{
+		Name:   fmt.Sprintf("choice-%d", m),
+		Inputs: []Pair{{0, 0}, {0, 1}, {1, 0}, {1, 1}},
+	}
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			t.Outputs = append(t.Outputs, Pair{a, b})
+		}
+	}
+	t.Delta = map[Pair][]Pair{}
+	for _, x := range t.Inputs {
+		t.Delta[x] = t.Outputs
+	}
+	return t
+}
+
+// CycleAgreement is approximate agreement on a cycle of m ≥ 4 vertices:
+// each process starts at vertex 0 or vertex m/2 and must decide vertices
+// that are equal or adjacent on the cycle; with equal inputs, both decide
+// that input. Like path-based agreement it is solvable, but the output
+// graph is a cycle rather than a path, exercising the BFS path machinery
+// on a non-tree graph.
+func CycleAgreement(m int) *Task {
+	half := m / 2
+	t := &Task{
+		Name:   fmt.Sprintf("cycle-agreement-%d", m),
+		Inputs: []Pair{{0, 0}, {0, half}, {half, 0}, {half, half}},
+	}
+	var mixed []Pair
+	for a := 0; a < m; a++ {
+		for _, b := range []int{a, (a + 1) % m, (a + m - 1) % m} {
+			p := Pair{a, b}
+			t.Outputs = append(t.Outputs, p)
+			mixed = append(mixed, p)
+		}
+	}
+	t.Delta = map[Pair][]Pair{
+		{0, 0}:       {{0, 0}},
+		{half, half}: {{half, half}},
+		{0, half}:    mixed,
+		{half, 0}:    mixed,
+	}
+	return t
+}

@@ -1,0 +1,160 @@
+package task
+
+import (
+	"testing"
+)
+
+func TestPairPartialExtends(t *testing.T) {
+	x := Pair{3, 5}
+	p := x.Partial(1)
+	if p != (Pair{3, Bot}) {
+		t.Fatalf("Partial = %v", p)
+	}
+	if !x.Extends(p) {
+		t.Fatal("x should extend its own partial")
+	}
+	if (Pair{4, 5}).Extends(p) {
+		t.Fatal("(4,5) should not extend (3,⊥)")
+	}
+	if !(Pair{3, 9}).Extends(p) {
+		t.Fatal("(3,9) should extend (3,⊥)")
+	}
+}
+
+func TestAdjacentOrEqual(t *testing.T) {
+	tests := []struct {
+		a, b Pair
+		want bool
+	}{
+		{Pair{1, 2}, Pair{1, 2}, true},
+		{Pair{1, 2}, Pair{1, 3}, true},
+		{Pair{1, 2}, Pair{0, 2}, true},
+		{Pair{1, 2}, Pair{0, 3}, false},
+	}
+	for _, tc := range tests {
+		if got := AdjacentOrEqual(tc.a, tc.b); got != tc.want {
+			t.Errorf("AdjacentOrEqual(%v,%v) = %v", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestValidateExamples(t *testing.T) {
+	for _, task := range []*Task{
+		BinaryConsensus(),
+		DiscreteEpsAgreement(4),
+		DiscreteEpsAgreement(9),
+		ChoiceTask(2),
+		CycleAgreement(6),
+	} {
+		if err := task.Validate(); err != nil {
+			t.Errorf("%s: %v", task.Name, err)
+		}
+	}
+}
+
+func TestConsensusNotSolvable(t *testing.T) {
+	// Lemma 2.1 via Lemma 5.7: binary consensus fails the BMZ conditions
+	// for every output subset — its output graph for mixed inputs is
+	// {(0,0),(1,1)}, disconnected.
+	c := BinaryConsensus()
+	if err := c.CheckSolvable(c.Outputs); err == nil {
+		t.Fatal("consensus passed BMZ check with full outputs")
+	}
+	if _, ok := c.FindSolvableSubset(); ok {
+		t.Fatal("consensus reported 1-resilient solvable")
+	}
+}
+
+func TestEpsAgreementSolvable(t *testing.T) {
+	// Lemma 2.2: ε-agreement is solvable; the full output set works.
+	for _, l := range []int{2, 4, 9} {
+		task := DiscreteEpsAgreement(l)
+		if err := task.CheckSolvable(task.Outputs); err != nil {
+			t.Errorf("L=%d: %v", l, err)
+		}
+	}
+}
+
+func TestChoiceAndCycleSolvable(t *testing.T) {
+	for _, task := range []*Task{ChoiceTask(2), ChoiceTask(3), CycleAgreement(6), CycleAgreement(8)} {
+		if _, ok := task.FindSolvableSubset(); !ok {
+			t.Errorf("%s reported unsolvable", task.Name)
+		}
+	}
+}
+
+func TestBuildPlanShape(t *testing.T) {
+	task := DiscreteEpsAgreement(4)
+	plan, err := task.BuildPlan(task.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.L < 4 || plan.L%2 != 0 {
+		t.Fatalf("L = %d, want even ≥ 4", plan.L)
+	}
+	for _, x := range task.Inputs {
+		for i := 0; i < 2; i++ {
+			path, ok := plan.Path(x, i)
+			if !ok {
+				t.Fatalf("missing path (%v,%d)", x, i)
+			}
+			if len(path) != plan.L+1 {
+				t.Fatalf("path (%v,%d) has %d nodes, want L+1=%d", x, i, len(path), plan.L+1)
+			}
+			if path[0] != plan.DeltaFull[x] {
+				t.Errorf("path (%v,%d) does not start at δ(X)", x, i)
+			}
+			if path[plan.L] != plan.DeltaPartial[x.Partial(i)] {
+				t.Errorf("path (%v,%d) does not end at δ(X^i)", x, i)
+			}
+			// Y_0..Y_{L-1} legal for X; consecutive nodes adjacent/equal.
+			for j := 0; j <= plan.L-1; j++ {
+				if !task.Legal(x, path[j]) {
+					t.Errorf("path (%v,%d) node %d = %v not legal", x, i, j, path[j])
+				}
+			}
+			for j := 0; j < plan.L; j++ {
+				if !AdjacentOrEqual(path[j], path[j+1]) {
+					t.Errorf("path (%v,%d) nodes %d,%d not adjacent", x, i, j, j+1)
+				}
+			}
+			// Y_{L-1} and Y_L agree outside component i.
+			if path[plan.L-1][1-i] != path[plan.L][1-i] {
+				t.Errorf("path (%v,%d): Y_{L-1}=%v and Y_L=%v differ in kept component",
+					x, i, path[plan.L-1], path[plan.L])
+			}
+		}
+	}
+}
+
+func TestBuildPlanRejectsConsensus(t *testing.T) {
+	c := BinaryConsensus()
+	if _, err := c.BuildPlan(c.Outputs); err == nil {
+		t.Fatal("BuildPlan accepted consensus")
+	}
+}
+
+func TestPlanDeltaPartialIndependentOfExtension(t *testing.T) {
+	// δ(X^i) must depend only on the partial input, never on which
+	// extension the other process holds — Algorithm 2's d=1 branch knows
+	// only the partial input.
+	task := DiscreteEpsAgreement(4)
+	plan, err := task.BuildPlan(task.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for _, xp := range task.PartialInputs(i) {
+			yl, ok := plan.DeltaPartial[xp]
+			if !ok {
+				t.Fatalf("no δ for partial %v", xp)
+			}
+			// The kept component must be extendable for every extension.
+			for _, x := range task.Extensions(xp) {
+				if !task.LegalPartial(x, 1-i, yl[1-i]) {
+					t.Errorf("δ(%v)=%v not extendable for %v", xp, yl, x)
+				}
+			}
+		}
+	}
+}
