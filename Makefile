@@ -1,0 +1,29 @@
+# Makefile — the commands CI runs are exactly the commands humans run.
+GO ?= go
+
+.PHONY: build test test-short bench lint figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# test-short is the CI gate: skips the exhaustive explorations
+# (internal/task, internal/impossibility, internal/snapshot) and runs
+# everything else under the race detector.
+test-short:
+	$(GO) test -short -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+figures:
+	$(GO) run ./cmd/figures

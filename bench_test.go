@@ -1,8 +1,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/agreement"
@@ -86,7 +88,7 @@ func BenchmarkAlg2Universal(b *testing.B) {
 // BenchmarkPigeonholeBound (E4): the register-content collision search.
 func BenchmarkPigeonholeBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		c, err := impossibility.WorstCollision(3)
+		c, err := impossibility.WorstCollision(3, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -335,6 +337,56 @@ func BenchmarkExperimentTables(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSweep runs the full E1–E14 sweep through the experiment
+// engine: jobs=1 is the serial baseline, jobs=NumCPU the concurrent
+// run. On 4+ cores the concurrent arm is ≥2x faster wall-clock while
+// emitting byte-identical tables (TestEngineConcurrentMatchesSerial);
+// on a single core the two arms coincide. Compare with
+//
+//	go test -run='^$' -bench=BenchmarkSweep -benchtime=3x .
+func BenchmarkSweep(b *testing.B) {
+	jobCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		jobCounts = append(jobCounts, n)
+	}
+	for _, jobs := range jobCounts {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.Run(context.Background(), experiments.Options{Jobs: jobs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := experiments.FirstError(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreParallel measures the bounded fan-out over disjoint
+// schedule prefixes on the Algorithm 1 interleaving space (the hot loop
+// of E2/E4 and the impossibility package).
+func BenchmarkExploreParallel(b *testing.B) {
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var runs int
+			for i := 0; i < b.N; i++ {
+				r, err := agreement.ExploreAlg1Parallel(4, [2]uint64{0, 1}, workers, func(*agreement.Alg1Run) {})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runs = r
+			}
+			b.ReportMetric(float64(runs), "executions")
 		})
 	}
 }

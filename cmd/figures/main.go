@@ -1,30 +1,105 @@
 // Command figures regenerates the data behind every figure and
-// theorem-level claim of the paper in one run (experiments E1..E12 of
-// DESIGN.md), printing one table per experiment.
+// theorem-level claim of the paper (experiments E1..E14 of DESIGN.md)
+// through the concurrent experiment engine, printing one table per
+// experiment in index order regardless of completion order.
+//
+// Usage:
+//
+//	figures [-run E3,E7] [-jobs N] [-format text|json|csv] [-timeout D] [-list] [-v]
+//
+// The output of -jobs N is byte-identical to -jobs 1 for every format:
+// parallelism changes wall-clock time only.
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	reg := experiments.Registry()
-	for _, id := range experiments.IDs() {
-		tab, err := reg[id]()
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runIDs  = fs.String("run", "", "comma-separated experiment ids to run (default: all)")
+		jobs    = fs.Int("jobs", 0, "experiments run concurrently (0 = GOMAXPROCS)")
+		format  = fs.String("format", "text", "output format: text, json, or csv")
+		timeout = fs.Duration("timeout", 0, "per-experiment wall-clock limit (0 = none)")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		verbose = fs.Bool("v", false, "report per-experiment timing on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
 		}
-		fmt.Println(tab.Format())
+		return err
 	}
-	return nil
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(stdout, id)
+		}
+		return nil
+	}
+
+	encode, ok := experiments.Encoders[*format]
+	if !ok {
+		known := make([]string, 0, len(experiments.Encoders))
+		for name := range experiments.Encoders {
+			known = append(known, name)
+		}
+		sort.Strings(known)
+		return fmt.Errorf("unknown format %q (have %s)", *format, strings.Join(known, ", "))
+	}
+
+	var ids []string
+	if *runIDs != "" {
+		for _, id := range strings.Split(*runIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("-run %q names no experiments", *runIDs)
+		}
+	}
+
+	start := time.Now()
+	results, err := experiments.Run(context.Background(), experiments.Options{
+		IDs:     ids,
+		Jobs:    *jobs,
+		Timeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for _, r := range results {
+			status := "ok"
+			if r.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(stderr, "figures: %-4s %8.3fs  %s\n", r.ID, r.Duration.Seconds(), status)
+		}
+		fmt.Fprintf(stderr, "figures: total %.3fs\n", time.Since(start).Seconds())
+	}
+	if err := encode(stdout, results); err != nil {
+		return err
+	}
+	return experiments.FirstError(results)
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSubsetRequestOrder(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-run", "E8, E1", "-jobs", "2", "-format", "json"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(results) != 2 || results[0].ID != "E8" || results[1].ID != "E1" {
+		t.Fatalf("results = %+v, want E8 then E1 (request order)", results)
+	}
+	for _, r := range results {
+		if r.Error != "" {
+			t.Fatalf("%s failed: %s", r.ID, r.Error)
+		}
+	}
+}
+
+func TestRunConcurrentOutputIdentical(t *testing.T) {
+	ids := "E1,E7,E8,E11"
+	var serial, concurrent bytes.Buffer
+	if err := run([]string{"-run", ids, "-jobs", "1"}, &serial, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", ids, "-jobs", "4", "-v"}, &concurrent, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), concurrent.Bytes()) {
+		t.Error("-jobs 4 output differs from -jobs 1")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(out.String())
+	if len(lines) != 14 || lines[0] != "E1" || lines[13] != "E14" {
+		t.Fatalf("-list = %v", lines)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-format", "yaml"},
+		{"-run", "E99"},
+		{"-run", " , "}, // only empty entries must not mean "run everything"
+	} {
+		if err := run(args, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

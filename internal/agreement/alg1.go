@@ -168,15 +168,23 @@ func (ar *Alg1Run) Check(k int) error {
 	return CheckBinaryEps(ar.Inputs[:], ar.Outs[:], ar.Decided[:], 1, Alg1Den(k))
 }
 
-// RunAlg1 executes Algorithm 1 for both processes under the given
-// scheduler and returns the run.
-func RunAlg1(k int, inputs [2]uint64, scheduler sched.Scheduler) (*Alg1Run, error) {
+// newAlg1Run builds a fresh Algorithm 1 system: the run record (with its
+// own shared memory) and the two process closures wired into it. Every
+// runner and explorer goes through it, so the serial and parallel
+// enumerations execute identical systems.
+func newAlg1Run(k int, inputs [2]uint64) (*Alg1Run, []sched.ProcFunc) {
 	m := NewAlg1Memory()
 	ar := &Alg1Run{Inputs: inputs, Mem: m}
-	procs := []sched.ProcFunc{
+	return ar, []sched.ProcFunc{
 		Alg1Proc(m, k, inputs[0], &ar.Outs[0], &ar.Decided[0]),
 		Alg1Proc(m, k, inputs[1], &ar.Outs[1], &ar.Decided[1]),
 	}
+}
+
+// RunAlg1 executes Algorithm 1 for both processes under the given
+// scheduler and returns the run.
+func RunAlg1(k int, inputs [2]uint64, scheduler sched.Scheduler) (*Alg1Run, error) {
+	ar, procs := newAlg1Run(k, inputs)
 	res, err := sched.Run(sched.Config{Scheduler: scheduler}, procs)
 	if err != nil {
 		return nil, err
@@ -191,15 +199,32 @@ func RunAlg1(k int, inputs [2]uint64, scheduler sched.Scheduler) (*Alg1Run, erro
 func ExploreAlg1(k int, inputs [2]uint64, visit func(*Alg1Run)) (int, error) {
 	var cur *Alg1Run
 	factory := func() []sched.ProcFunc {
-		m := NewAlg1Memory()
-		cur = &Alg1Run{Inputs: inputs, Mem: m}
-		return []sched.ProcFunc{
-			Alg1Proc(m, k, inputs[0], &cur.Outs[0], &cur.Decided[0]),
-			Alg1Proc(m, k, inputs[1], &cur.Outs[1], &cur.Decided[1]),
-		}
+		var procs []sched.ProcFunc
+		cur, procs = newAlg1Run(k, inputs)
+		return procs
 	}
 	return sched.ExploreAll(factory, 0, func(r *sched.Result) {
 		cur.Result = r
 		visit(cur)
 	})
+}
+
+// ExploreAlg1Parallel enumerates the same executions as ExploreAlg1 with
+// a bounded goroutine fan-out over disjoint schedule prefixes
+// (sched.ExploreParallel). visit is called serially under the explorer's
+// lock — it may mutate shared state freely — but in nondeterministic
+// order, so it must aggregate order-insensitively. workers <= 0 means
+// sched.DefaultExploreWorkers.
+func ExploreAlg1Parallel(k int, inputs [2]uint64, workers int, visit func(*Alg1Run)) (int, error) {
+	factory := func() sched.Instance {
+		cur, procs := newAlg1Run(k, inputs)
+		return sched.Instance{
+			Procs: procs,
+			Done: func(r *sched.Result) {
+				cur.Result = r
+				visit(cur)
+			},
+		}
+	}
+	return sched.ExploreParallel(factory, 0, workers)
 }

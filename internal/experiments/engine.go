@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configures an engine run.
+type Options struct {
+	// IDs lists the experiments to run, in the order their results are
+	// returned. Empty means every registered experiment in index order.
+	IDs []string
+	// Jobs is the number of experiments run concurrently; <= 0 means
+	// GOMAXPROCS.
+	Jobs int
+	// Timeout bounds each experiment's wall-clock time; 0 means no limit.
+	Timeout time.Duration
+	// Registry overrides the experiment registry; nil means Registry().
+	Registry map[string]Runner
+}
+
+// Result is the outcome of one experiment run by the engine.
+type Result struct {
+	// ID is the experiment id.
+	ID string
+	// Table is the experiment's output; nil when Err is non-nil.
+	Table *Table
+	// Err reports a failed, timed-out, panicked, or cancelled run.
+	Err error
+	// Panicked reports that Err came from a recovered runner panic.
+	Panicked bool
+	// Duration is the experiment's wall-clock time.
+	Duration time.Duration
+}
+
+// FirstError returns the first failed result's error in result order.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.ID, r.Err)
+		}
+	}
+	return nil
+}
+
+// Run executes the selected experiments on a bounded worker pool and
+// returns one Result per requested id, in request order regardless of
+// completion order. A runner that returns an error, panics, or exceeds
+// opts.Timeout yields a failed Result without affecting the other
+// experiments or the process. Run itself errors only on configuration
+// mistakes (an unknown experiment id); cancelling ctx marks the
+// experiments not yet finished as failed with the context's error.
+func Run(ctx context.Context, opts Options) ([]Result, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Registry()
+	}
+	ids := opts.IDs
+	if len(ids) == 0 {
+		ids = sortIDs(reg)
+	}
+	runners := make([]Runner, len(ids))
+	for i, id := range ids {
+		r, ok := reg[id]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+		runners[i] = r
+	}
+
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(ids) {
+		jobs = len(ids)
+	}
+
+	results := make([]Result, len(ids))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(ctx, ids[i], runners[i], opts.Timeout)
+			}
+		}()
+	}
+	for i := range ids {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, nil
+}
+
+// runOne executes a single runner with panic isolation and a timeout.
+// The runner executes in its own goroutine; on timeout or cancellation
+// that goroutine is abandoned (runners take no context), which leaks it
+// until it returns — acceptable for a CLI/test harness, and the reason
+// timeouts should be generous rather than tight.
+func runOne(ctx context.Context, id string, r Runner, timeout time.Duration) Result {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Result{ID: id, Err: err}
+	}
+	type outcome struct {
+		tab      *Table
+		err      error
+		panicked bool
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				ch <- outcome{err: fmt.Errorf("runner panicked: %v", rec), panicked: true}
+			}
+		}()
+		tab, err := r()
+		if err == nil && tab == nil {
+			err = fmt.Errorf("runner returned no table")
+		}
+		ch <- outcome{tab: tab, err: err}
+	}()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			o.tab = nil
+		}
+		return Result{ID: id, Table: o.tab, Err: o.err, Panicked: o.panicked, Duration: time.Since(start)}
+	case <-timer:
+		return Result{ID: id, Err: fmt.Errorf("timed out after %v: %w", timeout, context.DeadlineExceeded),
+			Duration: time.Since(start)}
+	case <-ctx.Done():
+		return Result{ID: id, Err: ctx.Err(), Duration: time.Since(start)}
+	}
+}

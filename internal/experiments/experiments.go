@@ -1,18 +1,25 @@
 // Package experiments regenerates every figure and theorem-level claim of
-// the paper (the experiment index of DESIGN.md): each experiment returns
-// a printable table whose rows are the series the paper reports. The
-// cmd/figures binary prints them all; the root benchmarks wrap them.
+// the paper (the E1..E14 experiment index of DESIGN.md): each experiment
+// returns a printable table whose rows are the series the paper reports.
+//
+// The concurrent execution engine (Run) drives the registry on a bounded
+// worker pool with per-experiment timeouts and panic isolation, returning
+// results in request order so that concurrent runs emit byte-identical
+// output to serial runs. EncodeText, EncodeJSON, and EncodeCSV render a
+// result slice; the cmd/figures binary is the CLI over all of it, and the
+// root benchmarks wrap the individual experiments.
 package experiments
 
 import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Table is one experiment's output.
 type Table struct {
-	// ID is the experiment id of DESIGN.md (E1..E12).
+	// ID is the experiment id of DESIGN.md (E1..E14).
 	ID string
 	// Title names the paper object reproduced.
 	Title   string
@@ -46,15 +53,25 @@ func Registry() map[string]Runner {
 }
 
 // IDs returns the experiment ids in order.
-func IDs() []string {
-	ids := make([]string, 0, 14)
-	for id := range Registry() {
+func IDs() []string { return sortIDs(Registry()) }
+
+// sortIDs returns a registry's ids sorted by numeric suffix ("E2" before
+// "E10"), falling back to lexicographic order for ids without one.
+func sortIDs(reg map[string]Runner) []string {
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(a, b int) bool {
-		na, _ := strconv.Atoi(ids[a][1:])
-		nb, _ := strconv.Atoi(ids[b][1:])
-		return na < nb
+		na, ea := strconv.Atoi(strings.TrimLeft(ids[a], "E"))
+		nb, eb := strconv.Atoi(strings.TrimLeft(ids[b], "E"))
+		if ea == nil && eb == nil && na != nb {
+			return na < nb
+		}
+		if (ea == nil) != (eb == nil) {
+			return ea == nil
+		}
+		return ids[a] < ids[b]
 	})
 	return ids
 }

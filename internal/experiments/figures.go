@@ -62,6 +62,11 @@ func Figure2Executions() (*Table, error) {
 	seen := map[int]bool{}
 	worstNum := 0
 	maxSteps := 0
+	// Serial exploration: the engine already runs experiments
+	// concurrently, so the concurrency budget is spent one level up —
+	// this keeps -jobs 1 a true serial baseline and -jobs N free of
+	// nested worker pools. Standalone callers wanting the fan-out use
+	// agreement.ExploreAlg1Parallel directly.
 	_, err := agreement.ExploreAlg1(k, [2]uint64{0, 1}, func(ar *agreement.Alg1Run) {
 		execs++
 		for i := 0; i < 2; i++ {
@@ -157,7 +162,7 @@ func Theorem11Pigeonhole() (*Table, error) {
 		})
 	}
 	for _, k := range []int{2, 3, 4} {
-		c, err := impossibility.WorstCollision(k)
+		c, err := impossibility.WorstCollision(k, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -166,7 +171,7 @@ func Theorem11Pigeonhole() (*Table, error) {
 			fmt.Sprintf("%d units of ε (mem %v)", c.Gap(), c.Mem),
 		})
 	}
-	g, err := impossibility.BuildAlg1Graph(3)
+	g, err := impossibility.BuildAlg1Graph(3, 1)
 	if err != nil {
 		return nil, err
 	}

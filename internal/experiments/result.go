@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EncodeText writes the aligned-text tables, one per successful result
+// separated by a blank line — byte-identical to running each table's
+// Format serially in result order, and independent of Jobs. Failed
+// results are written as a one-line error marker.
+func EncodeText(w io.Writer, results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			if _, err := fmt.Fprintf(w, "== %s: FAILED: %v ==\n\n", r.ID, r.Err); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintln(w, r.Table.Format()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonResult is the wire form of a Result. Durations are deliberately
+// omitted so that the encoding is a pure function of the experiment
+// outputs: two runs with different Jobs settings encode identically.
+type jsonResult struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Notes   []string   `json:"notes,omitempty"`
+	Error   string     `json:"error,omitempty"`
+}
+
+// EncodeJSON writes the results as one JSON array of table objects.
+func EncodeJSON(w io.Writer, results []Result) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, r := range results {
+		jr := jsonResult{ID: r.ID}
+		if r.Err != nil {
+			jr.Error = r.Err.Error()
+		} else {
+			jr.Title = r.Table.Title
+			jr.Headers = r.Table.Headers
+			jr.Rows = r.Table.Rows
+			jr.Notes = r.Table.Notes
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// EncodeCSV writes the results in long form, one record per table cell:
+//
+//	experiment,row,column,header,value
+//
+// The long form keeps the file rectangular even though each experiment
+// has its own column set. Notes and errors are emitted with the
+// pseudo-headers "_note" and "_error" (row numbering continues, column
+// is 0).
+func EncodeCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "row", "column", "header", "value"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			if err := cw.Write([]string{r.ID, "0", "0", "_error", r.Err.Error()}); err != nil {
+				return err
+			}
+			continue
+		}
+		for ri, row := range r.Table.Rows {
+			for ci, cell := range row {
+				header := ""
+				if ci < len(r.Table.Headers) {
+					header = r.Table.Headers[ci]
+				}
+				if err := cw.Write([]string{r.ID, itoa(ri), itoa(ci), header, cell}); err != nil {
+					return err
+				}
+			}
+		}
+		for ni, note := range r.Table.Notes {
+			if err := cw.Write([]string{r.ID, itoa(len(r.Table.Rows) + ni), "0", "_note", note}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Encoders maps the format names the CLI accepts to their encoder.
+var Encoders = map[string]func(io.Writer, []Result) error{
+	"text": EncodeText,
+	"json": EncodeJSON,
+	"csv":  EncodeCSV,
+}

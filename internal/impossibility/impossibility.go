@@ -47,11 +47,25 @@ type ExecutionGraph struct {
 	Executions int
 }
 
+// explore enumerates every interleaving of Algorithm 1 with inputs
+// (0,1) on a workers-wide goroutine fan-out: workers <= 0 uses every
+// core, 1 is effectively serial. The concurrency budget is the caller's
+// to spend — standalone analysis (and this package's tests) pass 0,
+// while the experiment engine passes 1 because it already runs whole
+// experiments concurrently. The visitors in this package only aggregate
+// into maps, sets, and extrema — all order-insensitive — so the
+// nondeterministic visit order of the parallel explorer cannot leak
+// into any result.
+func explore(k, workers int, visit func(*agreement.Alg1Run)) (int, error) {
+	return agreement.ExploreAlg1Parallel(k, [2]uint64{0, 1}, workers, visit)
+}
+
 // BuildAlg1Graph enumerates every interleaving of Algorithm 1 with
-// k rounds and inputs (0,1), building the execution graph.
-func BuildAlg1Graph(k int) (*ExecutionGraph, error) {
+// k rounds and inputs (0,1), building the execution graph. workers sets
+// the exploration fan-out (see explore).
+func BuildAlg1Graph(k, workers int) (*ExecutionGraph, error) {
 	g := &ExecutionGraph{K: k, Den: agreement.Alg1Den(k), Adj: map[Vertex]map[Vertex]bool{}}
-	runs, err := agreement.ExploreAlg1(k, [2]uint64{0, 1}, func(ar *agreement.Alg1Run) {
+	runs, err := explore(k, workers, func(ar *agreement.Alg1Run) {
 		if !ar.Decided[0] || !ar.Decided[1] {
 			return
 		}
@@ -140,15 +154,16 @@ type Collision struct {
 func (c Collision) Gap() int { return c.MaxNum - c.MinNum }
 
 // FindCollisions enumerates Algorithm 1 executions with inputs (0,1) and
-// groups them by final memory state, sorted by descending gap.
-func FindCollisions(k int) ([]Collision, error) {
+// groups them by final memory state, sorted by descending gap. workers
+// sets the exploration fan-out (see explore).
+func FindCollisions(k, workers int) ([]Collision, error) {
 	type bucket struct {
 		pairs map[[2]int]bool
 		lo    int
 		hi    int
 	}
 	buckets := map[MemoryState]*bucket{}
-	_, err := agreement.ExploreAlg1(k, [2]uint64{0, 1}, func(ar *agreement.Alg1Run) {
+	_, err := explore(k, workers, func(ar *agreement.Alg1Run) {
 		if !ar.Decided[0] || !ar.Decided[1] {
 			return
 		}
@@ -200,8 +215,9 @@ func FindCollisions(k int) ([]Collision, error) {
 }
 
 // WorstCollision returns the memory state with the largest output gap.
-func WorstCollision(k int) (Collision, error) {
-	cs, err := FindCollisions(k)
+// workers sets the exploration fan-out (see explore).
+func WorstCollision(k, workers int) (Collision, error) {
+	cs, err := FindCollisions(k, workers)
 	if err != nil {
 		return Collision{}, err
 	}
@@ -216,11 +232,12 @@ func WorstCollision(k int) (Collision, error) {
 // is exactly the adjacent pair {m, m+1} (over denominator 2k+1). This is
 // the family of mutually exclusive output classes the pigeonhole
 // argument counts. It returns achieved[m] for m = 0..2k-? — precisely,
-// index m reports the pair {m, m+1}.
-func AchievableOutputSets(k int) ([]bool, error) {
+// index m reports the pair {m, m+1}. workers sets the exploration
+// fan-out (see explore).
+func AchievableOutputSets(k, workers int) ([]bool, error) {
 	den := agreement.Alg1Den(k)
 	achieved := make([]bool, den) // pair {m, m+1} for m = 0..den-1
-	_, err := agreement.ExploreAlg1(k, [2]uint64{0, 1}, func(ar *agreement.Alg1Run) {
+	_, err := explore(k, workers, func(ar *agreement.Alg1Run) {
 		if !ar.Decided[0] || !ar.Decided[1] {
 			return
 		}

@@ -1,6 +1,10 @@
 package sched
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // Explore enumerates every crash-free interleaving of a deterministic
 // system and calls visit on each complete execution. Because processes are
@@ -30,26 +34,12 @@ func Explore(factory func() []ProcFunc, maxSteps, maxRuns int, visit func(*Resul
 		if !visit(res) {
 			return false, nil
 		}
-		// Branch on every decision point after the forced prefix, deepest
-		// first so that prefixes are extended before siblings (ordering is
-		// irrelevant for coverage; this keeps the recursion simple).
-		for i := len(res.Decisions) - 1; i >= len(prefix); i-- {
-			chosen := res.Decisions[i].Pid
-			for _, alt := range res.EnabledSets[i] {
-				if alt <= chosen {
-					continue
-				}
-				branch := make([]int, i+1)
-				for j := 0; j < i; j++ {
-					branch[j] = res.Decisions[j].Pid
-				}
-				branch[i] = alt
-				if cont, err := dfs(branch); err != nil || !cont {
-					return cont, err
-				}
-			}
-		}
-		return true, nil
+		cont, cerr := true, error(nil)
+		expandBranches(res, len(prefix), func(branch []int) bool {
+			cont, cerr = dfs(branch)
+			return cont && cerr == nil
+		})
+		return cont, cerr
 	}
 	_, err := dfs(nil)
 	return runs, err
@@ -58,10 +48,134 @@ func Explore(factory func() []ProcFunc, maxSteps, maxRuns int, visit func(*Resul
 // ErrExploreLimit reports that Explore hit its maxRuns bound.
 var ErrExploreLimit = fmt.Errorf("sched: exploration run limit reached")
 
+// expandBranches enumerates the child prefixes of a completed execution:
+// one per scheduler branch not taken after the forced prefix, deepest
+// decision point first (ordering is irrelevant for coverage). It stops
+// early if emit returns false. The serial and parallel explorers share
+// this rule — that is what makes their coverage identical.
+func expandBranches(res *Result, prefixLen int, emit func([]int) bool) {
+	for i := len(res.Decisions) - 1; i >= prefixLen; i-- {
+		chosen := res.Decisions[i].Pid
+		for _, alt := range res.EnabledSets[i] {
+			if alt <= chosen {
+				continue
+			}
+			branch := make([]int, i+1)
+			for j := 0; j < i; j++ {
+				branch[j] = res.Decisions[j].Pid
+			}
+			branch[i] = alt
+			if !emit(branch) {
+				return
+			}
+		}
+	}
+}
+
 // ExploreAll is Explore with visit always continuing and no run limit.
 func ExploreAll(factory func() []ProcFunc, maxSteps int, visit func(*Result)) (int, error) {
 	return Explore(factory, maxSteps, 0, func(r *Result) bool {
 		visit(r)
 		return true
 	})
+}
+
+// Instance is one fresh system build for the parallel explorer: the
+// process closures plus a completion callback receiving the run's Result.
+// Done is always invoked under the explorer's lock, so its body may
+// mutate shared state without further synchronization.
+type Instance struct {
+	Procs []ProcFunc
+	Done  func(*Result)
+}
+
+// DefaultExploreWorkers is the fan-out ExploreParallel uses when workers
+// is zero or negative.
+func DefaultExploreWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ExploreParallel enumerates exactly the executions ExploreAll visits,
+// fanning the replay DFS out over disjoint schedule prefixes with a
+// bounded pool of worker goroutines. The frontier is a shared stack of
+// forced prefixes: a worker pops a prefix, replays one execution under
+// it, reports the result, and pushes one child prefix per untaken
+// scheduler branch — the same branching rule as the serial DFS, so
+// every interleaving is visited exactly once.
+//
+// factory is called once per execution, possibly from several
+// goroutines concurrently, and must build a fully independent system
+// (fresh shared memory and closures). Each instance's Done callback
+// runs serially under a global lock, but in nondeterministic order:
+// only order-insensitive aggregations produce deterministic results.
+//
+// On an execution error the explorer drains and returns the first
+// error; visits already made are not undone. workers <= 0 means
+// DefaultExploreWorkers.
+func ExploreParallel(factory func() Instance, maxSteps, workers int) (int, error) {
+	if workers <= 0 {
+		workers = DefaultExploreWorkers()
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		frontier [][]int
+		pending  int // prefixes popped but not yet expanded, plus frontier
+		runs     int
+		firstErr error
+	)
+	frontier = append(frontier, []int{})
+	pending = 1
+
+	worker := func() {
+		for {
+			mu.Lock()
+			for len(frontier) == 0 && pending > 0 && firstErr == nil {
+				cond.Wait()
+			}
+			if pending == 0 || firstErr != nil {
+				mu.Unlock()
+				return
+			}
+			prefix := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			mu.Unlock()
+
+			inst := factory()
+			res, err := Run(Config{Scheduler: &Replay{Prefix: prefix}, MaxSteps: maxSteps}, inst.Procs)
+
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				pending--
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+			runs++
+			if inst.Done != nil {
+				inst.Done(res)
+			}
+			expandBranches(res, len(prefix), func(branch []int) bool {
+				frontier = append(frontier, branch)
+				pending++
+				return true
+			})
+			pending--
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+	return runs, firstErr
 }

@@ -83,6 +83,9 @@ func checkScans(n, updates int, scans []scanRecord) error {
 }
 
 func TestAtomicSnapshotExhaustiveTwoProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration")
+	}
 	var scans []scanRecord
 	factory := func() []sched.ProcFunc {
 		scans = nil
