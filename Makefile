@@ -1,7 +1,7 @@
 # Makefile — the commands CI runs are exactly the commands humans run.
 GO ?= go
 
-.PHONY: build test test-short bench lint figures
+.PHONY: build test test-short bench bench-json lint figures
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,11 @@ test-short:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-json emits the same sweep as test2json events (one JSON object
+# per line), the machine-readable form tooling can track over time.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -json ./...
 
 lint:
 	@fmt_out=$$(gofmt -l .); \

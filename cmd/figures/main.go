@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	figures [-run E3,E7] [-jobs N] [-format text|json|csv] [-timeout D] [-list] [-v]
+//	figures [-run E3,E7] [-jobs N] [-format text|json|csv] [-timeout D]
+//	        [-cache-dir DIR] [-no-cache] [-o FILE] [-list] [-v]
 //
 // The output of -jobs N is byte-identical to -jobs 1 for every format:
-// parallelism changes wall-clock time only.
+// parallelism changes wall-clock time only. With -cache-dir, results
+// persist in a content-addressed on-disk store (internal/cache): a
+// repeated run with the same directory executes nothing and emits the
+// same bytes, and the store is shared with a figuresd daemon pointed
+// at the same directory. The process exits non-zero when any
+// experiment in the run fails, even though the failed row is still
+// encoded in the output.
 package main
 
 import (
@@ -18,12 +25,16 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/experiments"
 )
+
+// testRegistry overrides the experiment registry in tests (to count
+// runner executions); nil outside of tests.
+var testRegistry map[string]experiments.Runner
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -36,12 +47,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runIDs  = fs.String("run", "", "comma-separated experiment ids to run (default: all)")
-		jobs    = fs.Int("jobs", 0, "experiments run concurrently (0 = GOMAXPROCS)")
-		format  = fs.String("format", "text", "output format: text, json, or csv")
-		timeout = fs.Duration("timeout", 0, "per-experiment wall-clock limit (0 = none)")
-		list    = fs.Bool("list", false, "list experiment ids and exit")
-		verbose = fs.Bool("v", false, "report per-experiment timing on stderr")
+		runIDs   = fs.String("run", "", "comma-separated experiment ids to run (default: all)")
+		jobs     = fs.Int("jobs", 0, "experiments run concurrently (0 = GOMAXPROCS)")
+		format   = fs.String("format", "text", "output format: text, json, or csv")
+		timeout  = fs.Duration("timeout", 0, "per-experiment wall-clock limit (0 = none)")
+		cacheDir = fs.String("cache-dir", "", "cache experiment results in this directory")
+		noCache  = fs.Bool("no-cache", false, "ignore -cache-dir and run everything fresh")
+		outFile  = fs.String("o", "", "write output to this file instead of stdout")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		verbose  = fs.Bool("v", false, "report per-experiment timing on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -57,14 +71,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	encode, ok := experiments.Encoders[*format]
-	if !ok {
-		known := make([]string, 0, len(experiments.Encoders))
-		for name := range experiments.Encoders {
-			known = append(known, name)
-		}
-		sort.Strings(known)
-		return fmt.Errorf("unknown format %q (have %s)", *format, strings.Join(known, ", "))
+	encode, err := experiments.LookupEncoder(*format)
+	if err != nil {
+		return err
 	}
 
 	var ids []string
@@ -79,27 +88,83 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	opts := experiments.Options{
+		IDs:      ids,
+		Jobs:     *jobs,
+		Timeout:  *timeout,
+		Registry: testRegistry,
+	}
+	// Validate the ids before touching the -o file below: a typo'd
+	// -run must fail cleanly, not truncate an existing output file.
+	reg := testRegistry
+	if reg == nil {
+		reg = experiments.Registry()
+	}
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+	if *cacheDir != "" && !*noCache {
+		store, err := cache.Open(*cacheDir, cache.Options{})
+		if err != nil {
+			return err
+		}
+		opts.Cache = store
+	}
+
+	// Create the -o file before running anything: an unwritable path
+	// must fail in milliseconds, not after the full experiment sweep.
+	out := io.Writer(stdout)
+	var f *os.File
+	if *outFile != "" {
+		var err error
+		f, err = os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		out = f
+	}
+
 	start := time.Now()
-	results, err := experiments.Run(context.Background(), experiments.Options{
-		IDs:     ids,
-		Jobs:    *jobs,
-		Timeout: *timeout,
-	})
+	results, err := experiments.Run(context.Background(), opts)
 	if err != nil {
 		return err
 	}
 	if *verbose {
 		for _, r := range results {
 			status := "ok"
-			if r.Err != nil {
+			switch {
+			case r.Err != nil:
 				status = "FAILED"
+			case r.Cached:
+				status = "cached"
 			}
 			fmt.Fprintf(stderr, "figures: %-4s %8.3fs  %s\n", r.ID, r.Duration.Seconds(), status)
 		}
 		fmt.Fprintf(stderr, "figures: total %.3fs\n", time.Since(start).Seconds())
 	}
-	if err := encode(stdout, results); err != nil {
+	if opts.Cache != nil {
+		hits := 0
+		for _, r := range results {
+			if r.Cached {
+				hits++
+			}
+		}
+		fmt.Fprintf(stderr, "figures: cache %d/%d hits (%.1f%%)\n",
+			hits, len(results), 100*float64(hits)/float64(len(results)))
+	}
+
+	if err := encode(out, results); err != nil {
+		if f != nil {
+			f.Close()
+		}
 		return err
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return experiments.FirstError(results)
 }

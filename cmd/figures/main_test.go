@@ -3,9 +3,188 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
+
+// hookRegistry installs a registry override that counts every runner
+// execution, restoring the real registry when the test ends.
+func hookRegistry(t *testing.T, reg map[string]experiments.Runner) *int {
+	t.Helper()
+	executions := new(int)
+	counted := make(map[string]experiments.Runner, len(reg))
+	for id, runner := range reg {
+		runner := runner
+		counted[id] = func() (*experiments.Table, error) {
+			*executions++ // engine may call concurrently; tests use -jobs 1
+			return runner()
+		}
+	}
+	testRegistry = counted
+	t.Cleanup(func() { testRegistry = nil })
+	return executions
+}
+
+// TestWarmCacheRunIsByteIdentical is the acceptance gate for the cache
+// layer: the second run with the same -cache-dir executes zero
+// experiment runners, its stdout is byte-identical to the cold run,
+// and the 100% hit rate is logged — for every output format.
+func TestWarmCacheRunIsByteIdentical(t *testing.T) {
+	const ids = "E1,E7,E8,E11"
+	for _, format := range []string{"text", "json", "csv"} {
+		t.Run(format, func(t *testing.T) {
+			executions := hookRegistry(t, experiments.Registry())
+			dir := t.TempDir()
+			args := []string{"-run", ids, "-jobs", "1", "-format", format, "-cache-dir", dir}
+
+			var cold, coldErr bytes.Buffer
+			if err := run(args, &cold, &coldErr); err != nil {
+				t.Fatal(err)
+			}
+			if *executions != 4 {
+				t.Fatalf("cold run executed %d runners, want 4", *executions)
+			}
+			if !strings.Contains(coldErr.String(), "cache 0/4 hits") {
+				t.Fatalf("cold run stderr = %q", coldErr.String())
+			}
+
+			var warm, warmErr bytes.Buffer
+			if err := run(args, &warm, &warmErr); err != nil {
+				t.Fatal(err)
+			}
+			if *executions != 4 {
+				t.Fatalf("warm run executed %d more runners, want 0", *executions-4)
+			}
+			if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+				t.Errorf("warm stdout differs from cold stdout")
+			}
+			if !strings.Contains(warmErr.String(), "cache 4/4 hits (100.0%)") {
+				t.Errorf("warm run stderr = %q, want a 100.0%% hit-rate line", warmErr.String())
+			}
+		})
+	}
+}
+
+// TestNoCacheFlag: -no-cache makes -cache-dir inert — everything
+// re-executes and no hit-rate line is logged.
+func TestNoCacheFlag(t *testing.T) {
+	executions := hookRegistry(t, experiments.Registry())
+	dir := t.TempDir()
+	args := []string{"-run", "E1", "-jobs", "1", "-cache-dir", dir, "-no-cache"}
+	for i := 1; i <= 2; i++ {
+		var out, errOut bytes.Buffer
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		if *executions != i {
+			t.Fatalf("run %d: %d executions", i, *executions)
+		}
+		if strings.Contains(errOut.String(), "cache") {
+			t.Fatalf("run %d logged cache stats with -no-cache: %q", i, errOut.String())
+		}
+	}
+}
+
+// TestOutputFileFlag: -o routes the encoded output to a file and
+// leaves stdout empty.
+func TestOutputFileFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "figures.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-run", "E1", "-format", "json", "-o", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("stdout not empty with -o: %q", stdout.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &results); err != nil {
+		t.Fatalf("-o file is not the JSON output: %v", err)
+	}
+	if len(results) != 1 || results[0].ID != "E1" {
+		t.Fatalf("-o file holds %+v", results)
+	}
+}
+
+// TestBadRunIDPreservesOutputFile: a rejected -run id must not
+// truncate an existing -o file.
+func TestBadRunIDPreservesOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "figures.json")
+	const precious = "previous run's tables"
+	if err := os.WriteFile(path, []byte(precious), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "E99", "-o", path}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != precious {
+		t.Fatalf("-o file clobbered by a rejected invocation: %q", raw)
+	}
+}
+
+// TestOutputFileUnwritable: a bad -o path fails before any
+// experiment runs, not after the sweep.
+func TestOutputFileUnwritable(t *testing.T) {
+	executions := hookRegistry(t, experiments.Registry())
+	err := run([]string{"-run", "E1", "-o", filepath.Join(t.TempDir(), "no", "such", "dir", "x")},
+		&bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unwritable -o path accepted")
+	}
+	if *executions != 0 {
+		t.Fatalf("experiments ran %d times before the -o failure", *executions)
+	}
+}
+
+// TestFailedExperimentExitsNonZero: a FAILED row must fail the
+// process (run returns an error) while the output still encodes it.
+func TestFailedExperimentExitsNonZero(t *testing.T) {
+	hookRegistry(t, map[string]experiments.Runner{
+		"E1": func() (*experiments.Table, error) { return nil, errors.New("synthetic failure") },
+		"E2": func() (*experiments.Table, error) {
+			return &experiments.Table{ID: "E2", Headers: []string{"h"}, Rows: [][]string{{"v"}}}, nil
+		},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-run", "E1,E2", "-jobs", "1"}, &out, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "E1") {
+		t.Fatalf("run returned %v, want the E1 failure", err)
+	}
+	if !strings.Contains(out.String(), "FAILED") || !strings.Contains(out.String(), "E2") {
+		t.Fatalf("output incomplete despite failure:\n%s", out.String())
+	}
+}
+
+// TestFailedExperimentNotCached: the failure is re-run (and still
+// fatal) on the second invocation with the same cache directory.
+func TestFailedExperimentNotCached(t *testing.T) {
+	executions := hookRegistry(t, map[string]experiments.Runner{
+		"E1": func() (*experiments.Table, error) { return nil, errors.New("synthetic failure") },
+	})
+	dir := t.TempDir()
+	for i := 1; i <= 2; i++ {
+		if err := run([]string{"-run", "E1", "-cache-dir", dir}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Fatalf("run %d: failure not surfaced", i)
+		}
+		if *executions != i {
+			t.Fatalf("run %d: %d executions, want %d (failures must not be cached)", i, *executions, i)
+		}
+	}
+}
 
 func TestRunSubsetRequestOrder(t *testing.T) {
 	var out, errOut bytes.Buffer

@@ -1,0 +1,123 @@
+// Command figuresd is the experiment-serving daemon: the figures
+// pipeline behind HTTP instead of a one-shot CLI. It mounts
+// internal/server over the E1..E14 registry, optionally backed by the
+// on-disk result cache, and shuts down gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	figuresd [-addr host:port] [-cache-dir DIR] [-timeout D] [-grace D]
+//
+// Endpoints:
+//
+//	GET /experiments                              the experiment index
+//	GET /experiments/{id}?format=text|json|csv    one experiment's table
+//	GET /healthz                                  liveness probe
+//
+// Concurrent requests for the same cold experiment are deduplicated to
+// a single execution; with -cache-dir, results persist across restarts
+// and are shared with cmd/figures runs using the same directory.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "figuresd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("figuresd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "localhost:8093", "listen address")
+		cacheDir = fs.String("cache-dir", "", "result cache directory (empty = no cache)")
+		timeout  = fs.Duration("timeout", server.DefaultTimeout, "per-experiment execution limit (0 = none)")
+		grace    = fs.Duration("grace", 5*time.Second, "graceful-shutdown window")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	logger := log.New(stderr, "", log.LstdFlags)
+	var store experiments.Cache
+	if *cacheDir != "" {
+		s, err := cache.Open(*cacheDir, cache.Options{})
+		if err != nil {
+			return err
+		}
+		store = s
+	}
+	// The flag follows cmd/figures' convention (0 = no limit); the
+	// server API spells that -1, with 0 meaning "use the default".
+	execTimeout := *timeout
+	if execTimeout == 0 {
+		execTimeout = -1
+	}
+	srv := server.New(server.Options{
+		Cache:   store,
+		Timeout: execTimeout,
+		Logf:    logger.Printf,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	cacheNote := "off"
+	if *cacheDir != "" {
+		cacheNote = *cacheDir
+	}
+	logger.Printf("figuresd: serving on http://%s (cache %s, timeout %v)", l.Addr(), cacheNote, *timeout)
+	return serve(ctx, l, srv, *grace)
+}
+
+// serve runs the HTTP server on l until ctx is cancelled or a signal
+// arrives, then drains in-flight requests for up to grace before
+// returning. A clean shutdown returns nil.
+func serve(ctx context.Context, l net.Listener, handler http.Handler, grace time.Duration) error {
+	hs := &http.Server{
+		Handler: handler,
+		// Slowloris guard; response writes are unbounded because an
+		// experiment execution legitimately takes minutes.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err // Serve never returns nil
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			hs.Close()
+			return err
+		}
+		return nil
+	}
+}

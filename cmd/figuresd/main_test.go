@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nonsense"},
+		{"-addr", "not a listen address"},
+	} {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestServeLifecycle boots the daemon's serve loop on an ephemeral
+// port, exercises the API through real TCP, and checks that
+// cancellation shuts it down cleanly within the grace window.
+func TestServeLifecycle(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executions atomic.Int64
+	reg := map[string]experiments.Runner{
+		"E1": func() (*experiments.Table, error) {
+			executions.Add(1)
+			return &experiments.Table{ID: "E1", Title: "synthetic",
+				Headers: []string{"h"}, Rows: [][]string{{"v"}}}, nil
+		},
+	}
+	handler := server.New(server.Options{Registry: reg})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, handler, 2*time.Second) }()
+
+	base := fmt.Sprintf("http://%s", l.Addr())
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if status, body := get("/healthz"); status != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", status, body)
+	}
+	if status, body := get("/experiments/E1"); status != http.StatusOK || !strings.Contains(body, "synthetic") {
+		t.Fatalf("/experiments/E1 = %d %q", status, body)
+	}
+	if status, _ := get("/experiments"); status != http.StatusOK {
+		t.Fatalf("/experiments = %d", status)
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("executions = %d", n)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v on graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down within the grace window")
+	}
+}

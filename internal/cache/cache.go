@@ -1,0 +1,379 @@
+// Package cache is a content-addressed, on-disk store of experiment
+// results. Each entry is one experiment's Result in the JSON wire form
+// of internal/experiments (EncodeJSON/DecodeJSON), addressed by a
+// SHA-256 fingerprint of (experiment id, registry version, Go version,
+// module version): any version bump changes every fingerprint, so a
+// stale store invalidates itself by missing rather than by being
+// scrubbed. Writes are atomic (temp file + rename in the store
+// directory), every payload carries its own checksum, and entries that
+// fail any check — envelope schema, recorded key, checksum, decode —
+// are deleted and reported as misses so corruption always falls back
+// to re-running the experiment, never to serving bad bytes. A
+// byte-size cap evicts least-recently-used entries (Get refreshes an
+// entry's mtime) on write.
+//
+// Store implements experiments.Cache, so it plugs directly into
+// experiments.Options; cmd/figures (-cache-dir) and cmd/figuresd wire
+// it up.
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// schemaVersion is the on-disk envelope format generation. Bumping it
+// orphans every existing entry (they fail the envelope check and are
+// removed on first read).
+const schemaVersion = 1
+
+// DefaultMaxBytes caps the store at 256 MiB unless Options.MaxBytes
+// overrides it — two orders of magnitude above a full E1–E14 table
+// set, so eviction only matters for long-lived shared directories.
+const DefaultMaxBytes = 256 << 20
+
+// Options configures Open. The zero value is usable: versions default
+// to this build's, the size cap to DefaultMaxBytes.
+type Options struct {
+	// MaxBytes caps the total size of stored entries; <= 0 means
+	// DefaultMaxBytes. The cap is enforced on Put by evicting the
+	// least-recently-used entries.
+	MaxBytes int64
+	// RegistryVersion defaults to experiments.RegistryVersion.
+	RegistryVersion string
+	// GoVersion defaults to runtime.Version().
+	GoVersion string
+	// ModuleVersion defaults to the main module's path@version from
+	// the build info ("repro@(devel)" for source builds).
+	ModuleVersion string
+}
+
+// Stats counts a store's traffic since Open.
+type Stats struct {
+	Hits    int64 // Get served a stored result
+	Misses  int64 // Get found nothing usable
+	Corrupt int64 // subset of Misses: an entry existed but failed a check
+	Evicted int64 // entries removed by the size cap
+}
+
+// HitRate returns hits/(hits+misses) in [0, 1], and 0 for an idle store.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Key is the full cache key of one entry. Every field participates in
+// the fingerprint, and the stored copy must match the store's own key
+// on read — a fingerprint collision or a file copied between stores
+// with different versions is detected and discarded, never served.
+type Key struct {
+	Experiment      string `json:"experiment"`
+	RegistryVersion string `json:"registry_version"`
+	GoVersion       string `json:"go_version"`
+	ModuleVersion   string `json:"module_version"`
+}
+
+// Fingerprint returns the hex SHA-256 content address of the key.
+func (k Key) Fingerprint() string {
+	h := sha256.New()
+	for _, part := range []string{k.Experiment, k.RegistryVersion, k.GoVersion, k.ModuleVersion} {
+		// Length-prefix each part so ("a", "bc") and ("ab", "c")
+		// cannot collide.
+		fmt.Fprintf(h, "%d:%s", len(part), part)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// envelope is the on-disk entry format: the key it was stored under,
+// a checksum of the payload, and the payload itself — the one-element
+// EncodeJSON array of the result.
+type envelope struct {
+	Schema  int             `json:"schema"`
+	Key     Key             `json:"key"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Store is an on-disk result cache. It is safe for concurrent use by
+// multiple goroutines; concurrent processes sharing a directory are
+// safe too (atomic renames), though their evictions race benignly.
+type Store struct {
+	dir      string
+	maxBytes int64
+	key      Key // Experiment field empty; filled per entry
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+var _ experiments.Cache = (*Store)(nil)
+
+// Open creates dir if needed and returns a store over it.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if opts.RegistryVersion == "" {
+		opts.RegistryVersion = experiments.RegistryVersion
+	}
+	if opts.GoVersion == "" {
+		opts.GoVersion = runtime.Version()
+	}
+	if opts.ModuleVersion == "" {
+		opts.ModuleVersion = buildModuleVersion()
+	}
+	sweepStaleTemps(dir)
+	return &Store{
+		dir:      dir,
+		maxBytes: opts.MaxBytes,
+		key: Key{
+			RegistryVersion: opts.RegistryVersion,
+			GoVersion:       opts.GoVersion,
+			ModuleVersion:   opts.ModuleVersion,
+		},
+	}, nil
+}
+
+// buildModuleVersion identifies the main module of this binary.
+func buildModuleVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		return bi.Main.Path + "@" + bi.Main.Version
+	}
+	return "unknown"
+}
+
+// keyFor returns the full key for one experiment id.
+func (s *Store) keyFor(id string) Key {
+	k := s.key
+	k.Experiment = id
+	return k
+}
+
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, k.Fingerprint()+".json")
+}
+
+// Get implements experiments.Cache. Untrustworthy entries — wrong
+// schema, mismatched key, bad checksum, undecodable payload, or a
+// stored failure — are deleted and reported as corrupt misses.
+func (s *Store) Get(id string) (experiments.Result, bool) {
+	k := s.keyFor(id)
+	path := s.path(k)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return experiments.Result{}, false
+	}
+	res, err := decodeEntry(raw, k)
+	if err != nil {
+		os.Remove(path)
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		return experiments.Result{}, false
+	}
+	// Refresh the entry's recency for LRU eviction; best-effort.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	s.count(func(st *Stats) { st.Hits++ })
+	return res, true
+}
+
+// decodeEntry validates an on-disk entry against the key it should
+// have been stored under and returns the successful result it holds.
+func decodeEntry(raw []byte, want Key) (experiments.Result, error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return experiments.Result{}, fmt.Errorf("cache: bad envelope: %w", err)
+	}
+	if env.Schema != schemaVersion {
+		return experiments.Result{}, fmt.Errorf("cache: schema %d, want %d", env.Schema, schemaVersion)
+	}
+	if env.Key != want {
+		return experiments.Result{}, fmt.Errorf("cache: entry key %+v does not match %+v", env.Key, want)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return experiments.Result{}, fmt.Errorf("cache: payload checksum mismatch")
+	}
+	results, err := experiments.DecodeJSON(bytes.NewReader(env.Payload))
+	if err != nil {
+		return experiments.Result{}, err
+	}
+	if len(results) != 1 {
+		return experiments.Result{}, fmt.Errorf("cache: entry holds %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.ID != want.Experiment || r.Err != nil || r.Table == nil {
+		return experiments.Result{}, fmt.Errorf("cache: entry is not a successful %s result", want.Experiment)
+	}
+	return r, nil
+}
+
+// Put implements experiments.Cache: it stores a successful result
+// atomically (temp file + rename) and then enforces the size cap.
+func (s *Store) Put(id string, r experiments.Result) error {
+	if r.Err != nil || r.Table == nil {
+		return fmt.Errorf("cache: refusing to store failed result %s", id)
+	}
+	r.ID = id
+	var encoded bytes.Buffer
+	if err := experiments.EncodeJSON(&encoded, []experiments.Result{r}); err != nil {
+		return err
+	}
+	// Compact before checksumming: json.Marshal compacts RawMessage
+	// fields when writing the envelope, and the checksum must cover
+	// the payload bytes as they appear on disk.
+	var payload bytes.Buffer
+	if err := json.Compact(&payload, encoded.Bytes()); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	raw, err := json.Marshal(envelope{
+		Schema:  schemaVersion,
+		Key:     s.keyFor(id),
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload.Bytes(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(s.dir, s.path(s.keyFor(id)), raw); err != nil {
+		return err
+	}
+	return s.evict()
+}
+
+// writeAtomic writes data to path via a temp file in dir and a rename,
+// so readers only ever observe complete entries.
+func writeAtomic(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// tempMaxAge is how old a .tmp-* file must be before it is presumed
+// orphaned (a writer died between CreateTemp and Rename) and swept.
+// Live writers hold their temp file for milliseconds, so an hour is
+// safely conservative even across processes sharing the directory.
+const tempMaxAge = time.Hour
+
+// sweepStaleTemps removes orphaned temp files so crashed writes
+// cannot grow the directory past the byte cap forever. Called on
+// Open; eviction passes do the same check inline on their single
+// directory scan. Best-effort.
+func sweepStaleTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-tempMaxAge)
+	for _, de := range entries {
+		removeIfStaleTemp(dir, de, cutoff)
+	}
+}
+
+// removeIfStaleTemp deletes de when it is a temp file older than
+// cutoff, reporting whether de was a temp file (stale or not).
+func removeIfStaleTemp(dir string, de os.DirEntry, cutoff time.Time) bool {
+	if de.IsDir() || !strings.HasPrefix(de.Name(), ".tmp-") {
+		return false
+	}
+	if info, err := de.Info(); err == nil && info.ModTime().Before(cutoff) {
+		os.Remove(filepath.Join(dir, de.Name()))
+	}
+	return true
+}
+
+// evict removes least-recently-used entries until the store fits the
+// byte cap, sweeping stale temp files on the same directory scan.
+// Get refreshes mtimes, so mtime order is use order.
+func (s *Store) evict() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var (
+		files  []entry
+		total  int64
+		cutoff = time.Now().Add(-tempMaxAge)
+	)
+	for _, de := range entries {
+		if removeIfStaleTemp(s.dir, de, cutoff) {
+			continue
+		}
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with another evictor
+		}
+		files = append(files, entry{filepath.Join(s.dir, de.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= s.maxBytes {
+		return nil
+	}
+	sort.Slice(files, func(a, b int) bool { return files[a].mtime.Before(files[b].mtime) })
+	for _, f := range files {
+		if total <= s.maxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			s.count(func(st *Stats) { st.Evicted++ })
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}

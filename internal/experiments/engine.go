@@ -20,6 +20,25 @@ type Options struct {
 	Timeout time.Duration
 	// Registry overrides the experiment registry; nil means Registry().
 	Registry map[string]Runner
+	// Cache, when non-nil, is consulted before each runner executes and
+	// updated after each success. A hit skips the runner entirely and
+	// yields the stored Result with Cached set; failed results are never
+	// stored, so errors are always recomputed. Cache write errors are
+	// ignored: caching is an optimisation, never a reason to fail a run.
+	Cache Cache
+}
+
+// Cache is the engine's view of a result store, keyed by experiment id.
+// Implementations (internal/cache.Store) own the full cache key —
+// registry, Go, and module versions — so a stale store simply misses.
+type Cache interface {
+	// Get returns the stored result for an experiment id. ok reports a
+	// usable hit; implementations must return ok == false (never a
+	// stale or corrupted result) when the entry cannot be trusted.
+	Get(id string) (Result, bool)
+	// Put stores a successful result. Implementations may refuse
+	// (e.g. failed results); the engine ignores the error.
+	Put(id string, r Result) error
 }
 
 // Result is the outcome of one experiment run by the engine.
@@ -32,6 +51,10 @@ type Result struct {
 	Err error
 	// Panicked reports that Err came from a recovered runner panic.
 	Panicked bool
+	// Cached reports that the result came from Options.Cache and no
+	// runner executed. Like Duration it is not part of the wire form,
+	// so cached and fresh runs encode byte-identically.
+	Cached bool
 	// Duration is the experiment's wall-clock time.
 	Duration time.Duration
 }
@@ -87,7 +110,7 @@ func Run(ctx context.Context, opts Options) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(ctx, ids[i], runners[i], opts.Timeout)
+				results[i] = runCached(ctx, ids[i], runners[i], opts)
 			}
 		}()
 	}
@@ -97,6 +120,23 @@ func Run(ctx context.Context, opts Options) ([]Result, error) {
 	close(idx)
 	wg.Wait()
 	return results, nil
+}
+
+// runCached serves one experiment from opts.Cache when possible and
+// runs it (storing a success back) otherwise.
+func runCached(ctx context.Context, id string, r Runner, opts Options) Result {
+	if opts.Cache != nil {
+		if res, ok := opts.Cache.Get(id); ok && res.Err == nil && res.Table != nil {
+			res.ID = id
+			res.Cached = true
+			return res
+		}
+	}
+	res := runOne(ctx, id, r, opts.Timeout)
+	if opts.Cache != nil && res.Err == nil {
+		opts.Cache.Put(id, res) // best-effort; a failed write just means a future miss
+	}
+	return res
 }
 
 // runOne executes a single runner with panic isolation and a timeout.

@@ -204,6 +204,152 @@ func TestEngineRunnerErrorIsolated(t *testing.T) {
 	}
 }
 
+// fakeCache is an in-memory experiments.Cache recording its traffic.
+type fakeCache struct {
+	entries map[string]Result
+	puts    []string
+	putErr  error
+}
+
+func newFakeCache() *fakeCache { return &fakeCache{entries: map[string]Result{}} }
+
+func (c *fakeCache) Get(id string) (Result, bool) {
+	r, ok := c.entries[id]
+	return r, ok
+}
+
+func (c *fakeCache) Put(id string, r Result) error {
+	c.puts = append(c.puts, id)
+	if c.putErr != nil {
+		return c.putErr
+	}
+	c.entries[id] = r
+	return nil
+}
+
+// TestEngineCacheHitSkipsRunner: a cached experiment's runner never
+// executes, and the served result carries the Cached mark.
+func TestEngineCacheHitSkipsRunner(t *testing.T) {
+	runs := 0
+	reg := map[string]Runner{
+		"E1": func() (*Table, error) {
+			runs++
+			return &Table{ID: "E1", Headers: []string{"h"}, Rows: [][]string{{"v"}}}, nil
+		},
+	}
+	cache := newFakeCache()
+	cache.entries["E1"] = Result{ID: "E1", Table: &Table{ID: "E1", Headers: []string{"h"}, Rows: [][]string{{"v"}}}}
+	results, err := Run(context.Background(), Options{Registry: reg, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 0 {
+		t.Fatalf("runner executed %d times on a warm cache", runs)
+	}
+	if !results[0].Cached || results[0].Err != nil || results[0].Table == nil {
+		t.Fatalf("cached result mangled: %+v", results[0])
+	}
+	if len(cache.puts) != 0 {
+		t.Fatalf("hit re-stored: puts = %v", cache.puts)
+	}
+}
+
+// TestEngineCacheMissRunsAndStores: a cold cache runs the experiment
+// once and stores the success; a second run is then served cold-free.
+func TestEngineCacheMissRunsAndStores(t *testing.T) {
+	runs := 0
+	reg := map[string]Runner{
+		"E1": func() (*Table, error) {
+			runs++
+			return &Table{ID: "E1", Headers: []string{"h"}, Rows: [][]string{{"v"}}}, nil
+		},
+	}
+	cache := newFakeCache()
+	first, err := Run(context.Background(), Options{Registry: reg, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 || first[0].Cached {
+		t.Fatalf("cold run: runs = %d, result = %+v", runs, first[0])
+	}
+	if len(cache.puts) != 1 || cache.puts[0] != "E1" {
+		t.Fatalf("success not stored: puts = %v", cache.puts)
+	}
+	second, err := Run(context.Background(), Options{Registry: reg, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 || !second[0].Cached {
+		t.Fatalf("warm run: runs = %d, result = %+v", runs, second[0])
+	}
+	var a, b bytes.Buffer
+	if err := EncodeJSON(&a, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeJSON(&b, second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("warm run encodes differently from cold run")
+	}
+}
+
+// TestEngineCacheNeverStoresFailures: failed results are recomputed,
+// not cached.
+func TestEngineCacheNeverStoresFailures(t *testing.T) {
+	reg := map[string]Runner{
+		"E1": func() (*Table, error) { return nil, errors.New("flaky") },
+		"E2": func() (*Table, error) { panic("boom") },
+	}
+	cache := newFakeCache()
+	if _, err := Run(context.Background(), Options{Registry: reg, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.puts) != 0 {
+		t.Fatalf("failures stored: puts = %v", cache.puts)
+	}
+}
+
+// TestEngineCachePutErrorIgnored: a cache that cannot persist is an
+// optimisation that didn't happen, not a run failure.
+func TestEngineCachePutErrorIgnored(t *testing.T) {
+	reg := map[string]Runner{
+		"E1": func() (*Table, error) {
+			return &Table{ID: "E1", Headers: []string{"h"}, Rows: [][]string{{"v"}}}, nil
+		},
+	}
+	cache := newFakeCache()
+	cache.putErr = errors.New("disk full")
+	results, err := Run(context.Background(), Options{Registry: reg, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("Put failure surfaced: %v", results[0].Err)
+	}
+}
+
+// TestEngineCacheIgnoresUnusableHits: a hit carrying an error or no
+// table (a misbehaving cache) must not be served — the runner runs.
+func TestEngineCacheIgnoresUnusableHits(t *testing.T) {
+	runs := 0
+	reg := map[string]Runner{
+		"E1": func() (*Table, error) {
+			runs++
+			return &Table{ID: "E1", Headers: []string{"h"}, Rows: [][]string{{"v"}}}, nil
+		},
+	}
+	cache := newFakeCache()
+	cache.entries["E1"] = Result{ID: "E1", Err: errors.New("stored failure")}
+	results, err := Run(context.Background(), Options{Registry: reg, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 || results[0].Err != nil || results[0].Cached {
+		t.Fatalf("unusable hit served: runs = %d, result = %+v", runs, results[0])
+	}
+}
+
 func TestSortIDsNumericSuffix(t *testing.T) {
 	reg := map[string]Runner{
 		"E10": nil, "E2": nil, "E1": nil, "zeta": nil, "alpha": nil,

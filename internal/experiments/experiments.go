@@ -32,6 +32,14 @@ type Table struct {
 // Runner produces a table.
 type Runner func() (*Table, error)
 
+// RegistryVersion names the current generation of the experiment
+// definitions and is part of every cache key (internal/cache). Bump it
+// whenever any registered experiment's output bytes could change —
+// new or removed experiments, parameter sweeps, wording of titles,
+// headers, or notes — so stale cached tables are never served; old
+// entries simply stop matching and age out of the store.
+const RegistryVersion = "e1-e14/v1"
+
 // Registry maps experiment ids to runners.
 func Registry() map[string]Runner {
 	return map[string]Runner{

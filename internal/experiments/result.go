@@ -3,8 +3,11 @@ package experiments
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 )
 
 // EncodeText writes the aligned-text tables, one per successful result
@@ -58,6 +61,37 @@ func EncodeJSON(w io.Writer, results []Result) error {
 	return enc.Encode(out)
 }
 
+// DecodeJSON reads a result slice back from the wire form written by
+// EncodeJSON. The wire form is a pure function of the experiment
+// outputs, so decoding is lossy only in the fields EncodeJSON already
+// drops: Duration is zero, Panicked is false, and a failed result's
+// error is reconstructed as an opaque error with the encoded message.
+// For every result slice rs, EncodeJSON(DecodeJSON(EncodeJSON(rs)))
+// is byte-identical to EncodeJSON(rs) — the property the cache layer
+// relies on to make warm runs emit the same bytes as cold runs.
+func DecodeJSON(r io.Reader) ([]Result, error) {
+	var in []jsonResult
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("experiments: decoding results: %w", err)
+	}
+	results := make([]Result, len(in))
+	for i, jr := range in {
+		if jr.Error != "" {
+			results[i] = Result{ID: jr.ID, Err: errors.New(jr.Error)}
+			continue
+		}
+		results[i] = Result{ID: jr.ID, Table: &Table{
+			ID:      jr.ID,
+			Title:   jr.Title,
+			Headers: jr.Headers,
+			Rows:    jr.Rows,
+			Notes:   jr.Notes,
+		}}
+	}
+	return results, nil
+}
+
 // EncodeCSV writes the results in long form, one record per table cell:
 //
 //	experiment,row,column,header,value
@@ -104,4 +138,18 @@ var Encoders = map[string]func(io.Writer, []Result) error{
 	"text": EncodeText,
 	"json": EncodeJSON,
 	"csv":  EncodeCSV,
+}
+
+// LookupEncoder resolves a format name, naming the known formats in
+// the error so every caller rejects bad input with the same message.
+func LookupEncoder(format string) (func(io.Writer, []Result) error, error) {
+	if encode, ok := Encoders[format]; ok {
+		return encode, nil
+	}
+	known := make([]string, 0, len(Encoders))
+	for name := range Encoders {
+		known = append(known, name)
+	}
+	sort.Strings(known)
+	return nil, fmt.Errorf("unknown format %q (have %s)", format, strings.Join(known, ", "))
 }

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// roundTripResults are the wire-form edge cases: a full table, a table
+// with empty Rows and Notes, a table with nil slices, an empty-string
+// cell, and a failed result.
+func roundTripResults() []Result {
+	return []Result{
+		{ID: "E1", Table: &Table{
+			ID:      "E1",
+			Title:   "full table",
+			Headers: []string{"a", "b"},
+			Rows:    [][]string{{"1", "2"}, {"", "4"}},
+			Notes:   []string{"first note", "second note"},
+		}},
+		{ID: "E2", Table: &Table{
+			ID:      "E2",
+			Title:   "empty rows and notes",
+			Headers: []string{"only", "headers"},
+			Rows:    [][]string{},
+			Notes:   []string{},
+		}},
+		{ID: "E3", Table: &Table{ID: "E3", Title: "nil slices"}},
+		{ID: "E4", Err: errors.New("runner exploded: giving up")},
+	}
+}
+
+// TestEncodeDecodeJSONLossless: DecodeJSON inverts EncodeJSON up to
+// the fields the wire form deliberately drops, so re-encoding the
+// decoded slice reproduces the original bytes exactly — for every
+// format, since text and CSV are functions of the same fields.
+func TestEncodeDecodeJSONLossless(t *testing.T) {
+	original := roundTripResults()
+	var wire bytes.Buffer
+	if err := EncodeJSON(&wire, original); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeJSON(bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(original) {
+		t.Fatalf("decoded %d results, want %d", len(decoded), len(original))
+	}
+	if decoded[3].Err == nil || decoded[3].Err.Error() != "runner exploded: giving up" {
+		t.Fatalf("failed result's error lost: %v", decoded[3].Err)
+	}
+	for name, encode := range Encoders {
+		var a, b bytes.Buffer
+		if err := encode(&a, original); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := encode(&b, decoded); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: decoded slice encodes differently:\n--- original\n%s--- decoded\n%s",
+				name, a.String(), b.String())
+		}
+	}
+}
+
+// TestDecodeJSONSetsTableID: the wire form stores the id once; the
+// decoded table must get it back so text output keeps its header line.
+func TestDecodeJSONSetsTableID(t *testing.T) {
+	var wire bytes.Buffer
+	if err := EncodeJSON(&wire, roundTripResults()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeJSON(bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded[0].Table.ID != "E1" {
+		t.Fatalf("table id = %q, want E1", decoded[0].Table.ID)
+	}
+}
+
+func TestDecodeJSONRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "not json", `{"object":"not an array"}`} {
+		if _, err := DecodeJSON(strings.NewReader(bad)); err == nil {
+			t.Errorf("DecodeJSON(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestEncodeCSVEscaping: cell values containing commas, double
+// quotes, and newlines must survive a CSV write/read cycle intact.
+func TestEncodeCSVEscaping(t *testing.T) {
+	tricky := []string{
+		`comma, in value`,
+		`say "quoted"`,
+		"line\nbreak",
+		`both, "at" once`,
+	}
+	results := []Result{{ID: "E1", Table: &Table{
+		ID:      "E1",
+		Title:   "escaping",
+		Headers: []string{`header, with comma`},
+		Rows:    [][]string{{tricky[0]}, {tricky[1]}, {tricky[2]}, {tricky[3]}},
+		Notes:   []string{`note with , and "`},
+	}}}
+	var buf bytes.Buffer
+	if err := EncodeCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("encoder emitted unparsable CSV: %v", err)
+	}
+	// Header record + 4 cells + 1 note.
+	if len(records) != 6 {
+		t.Fatalf("got %d records, want 6", len(records))
+	}
+	for i, want := range tricky {
+		rec := records[i+1]
+		if rec[3] != `header, with comma` || rec[4] != want {
+			t.Errorf("record %d = %q, want value %q", i+1, rec, want)
+		}
+	}
+	if note := records[5]; note[3] != "_note" || note[4] != `note with , and "` {
+		t.Errorf("note record = %q", note)
+	}
+}

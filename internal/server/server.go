@@ -1,0 +1,261 @@
+// Package server is the HTTP serving layer over the experiment engine:
+// cmd/figuresd mounts it as a daemon. It serves the experiment index,
+// individual experiment tables in every encoder format, and a health
+// probe, with three protections a CLI run does not need:
+//
+//   - singleflight deduplication: N concurrent requests for a cold
+//     experiment trigger exactly one execution, and all N responses
+//     are rendered from the one result;
+//   - a per-execution timeout detached from the request context, so a
+//     client disconnect cannot poison the result other waiters share;
+//   - optional cache backing (internal/cache): warm experiments are
+//     served from disk without executing anything.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// DefaultTimeout bounds one experiment execution when Options.Timeout
+// is zero — generous because the exhaustive explorations are the slow
+// tail, and a timeout that fires mid-exploration wastes the work.
+const DefaultTimeout = 2 * time.Minute
+
+// Options configures New. The zero value serves the real registry
+// with no cache and DefaultTimeout.
+type Options struct {
+	// Registry overrides the experiment registry; nil means
+	// experiments.Registry().
+	Registry map[string]experiments.Runner
+	// Cache, when non-nil, backs every execution (see
+	// experiments.Options.Cache).
+	Cache experiments.Cache
+	// Timeout bounds each experiment execution; 0 means
+	// DefaultTimeout, negative means no limit.
+	Timeout time.Duration
+	// Logf receives one line per request; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Server handles the figuresd HTTP API:
+//
+//	GET /experiments                         the experiment index (JSON)
+//	GET /experiments/{id}?format=text|json|csv   one experiment's table
+//	GET /healthz                             liveness probe
+type Server struct {
+	reg     map[string]experiments.Runner
+	ids     []string
+	cache   experiments.Cache
+	timeout time.Duration
+	logf    func(format string, args ...any)
+	flights flightGroup
+	mux     *http.ServeMux
+
+	mu        sync.Mutex
+	cooldowns map[string]cooldownEntry
+}
+
+// New builds a server over the given registry and cache.
+func New(opts Options) *Server {
+	reg := opts.Registry
+	if reg == nil {
+		reg = experiments.Registry()
+	}
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{
+		reg:       reg,
+		ids:       ids,
+		cache:     opts.Cache,
+		timeout:   timeout,
+		logf:      logf,
+		mux:       http.NewServeMux(),
+		cooldowns: make(map[string]cooldownEntry),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /experiments", s.handleIndex)
+	s.mux.HandleFunc("GET /experiments/{id}", s.handleExperiment)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// indexResponse is the /experiments body.
+type indexResponse struct {
+	RegistryVersion string   `json:"registry_version"`
+	Experiments     []string `json:"experiments"`
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(indexResponse{
+		RegistryVersion: experiments.RegistryVersion,
+		Experiments:     s.ids,
+	})
+}
+
+// contentTypes maps encoder formats to their media type.
+var contentTypes = map[string]string{
+	"text": "text/plain; charset=utf-8",
+	"json": "application/json",
+	"csv":  "text/csv",
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.PathValue("id")
+	if _, ok := s.reg[id]; !ok {
+		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "text"
+	}
+	encode, err := experiments.LookupEncoder(format)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	res, shared, err := s.execute(id)
+	if err != nil {
+		// Engine configuration errors only; the id was validated, so
+		// this is a server bug rather than a client mistake.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	// Encode before writing headers so an encoder error cannot corrupt
+	// a 200 response, and a failed experiment can carry a 500 status
+	// around its encoded error form.
+	var body bytes.Buffer
+	if err := encode(&body, []experiments.Result{res}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	status := http.StatusOK
+	if res.Err != nil {
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", contentTypes[format])
+	w.WriteHeader(status)
+	w.Write(body.Bytes())
+	s.logf("figuresd: GET %s format=%s status=%d cached=%v shared=%v in %v",
+		r.URL.Path, format, status, res.Cached, shared, time.Since(start).Round(time.Millisecond))
+}
+
+// execute runs one experiment through the singleflight group. The
+// execution uses a context detached from any request so that the
+// result every waiter shares cannot be cancelled by whichever client
+// happened to arrive first; the per-execution timeout bounds it
+// instead.
+//
+// A timed-out execution abandons its runner goroutine (the engine's
+// documented behavior for runners, which take no context), so an
+// immediate retry would stack a second copy of the same computation
+// on top of the first. The cooldown guards against that: after a
+// timeout, requests for the same experiment are served the recorded
+// timeout failure — without executing — until one timeout period has
+// passed, bounding the abandoned work to at most one runner per
+// experiment per period no matter how aggressively clients retry.
+func (s *Server) execute(id string) (experiments.Result, bool, error) {
+	if res, ok := s.coolingDown(id); ok {
+		return res, true, nil
+	}
+	val, err, shared := s.flights.Do(id, func() (any, error) {
+		timeout := s.timeout
+		if timeout < 0 {
+			timeout = 0
+		}
+		results, err := experiments.Run(context.Background(), experiments.Options{
+			IDs:      []string{id},
+			Jobs:     1,
+			Timeout:  timeout,
+			Registry: s.reg,
+			Cache:    s.cache,
+		})
+		if err != nil {
+			return experiments.Result{}, err
+		}
+		return results[0], nil
+	})
+	if err != nil {
+		return experiments.Result{}, shared, err
+	}
+	res := val.(experiments.Result)
+	if !shared && res.Err != nil && errors.Is(res.Err, context.DeadlineExceeded) {
+		s.startCooldown(id, res)
+	}
+	return res, shared, nil
+}
+
+// cooldownEntry records a timed-out execution to serve in place of
+// re-execution until the deadline passes.
+type cooldownEntry struct {
+	until time.Time
+	res   experiments.Result
+}
+
+// coolingDown reports whether id recently timed out, returning the
+// recorded failure to serve instead of executing again.
+func (s *Server) coolingDown(id string) (experiments.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cooldowns[id]
+	if !ok {
+		return experiments.Result{}, false
+	}
+	if time.Now().After(e.until) {
+		delete(s.cooldowns, id)
+		return experiments.Result{}, false
+	}
+	return e.res, true
+}
+
+// startCooldown opens a one-timeout-long window during which id's
+// recorded timeout failure is served without executing. The window
+// matches the execution timeout: by then the abandoned runner has
+// either finished (freeing its core) or proven the experiment needs a
+// bigger -timeout, and one more probe per window is an acceptable
+// cost either way.
+func (s *Server) startCooldown(id string, res experiments.Result) {
+	window := s.timeout
+	if window <= 0 {
+		return // no timeout configured, so nothing can have timed out
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cooldowns[id] = cooldownEntry{until: time.Now().Add(window), res: res}
+}

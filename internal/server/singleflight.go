@@ -1,0 +1,57 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work by key: while one call for
+// a key is in flight, later callers wait for its outcome instead of
+// starting their own. It is the minimal subset of
+// golang.org/x/sync/singleflight the server needs (the module has no
+// external dependencies).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do runs fn once per key at a time. Callers that join an in-flight
+// key receive the leader's result and shared == true.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// A panicking fn must not wedge the key forever (entry never
+	// deleted, done never closed, every later caller blocked), so the
+	// bookkeeping runs in a defer and the panic is delivered to the
+	// leader and all waiters as an error (via the named returns — on
+	// a panic the normal return below never executes).
+	defer func() {
+		if rec := recover(); rec != nil {
+			c.err = fmt.Errorf("singleflight: fn panicked: %v", rec)
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		val, err = c.val, c.err
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}
