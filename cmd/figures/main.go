@@ -6,16 +6,21 @@
 // Usage:
 //
 //	figures [-run E3,E7] [-jobs N] [-format text|json|csv] [-timeout D]
-//	        [-cache-dir DIR] [-no-cache] [-o FILE] [-list] [-v]
+//	        [-cache-dir DIR] [-no-cache] [-workers HOSTS] [-o FILE]
+//	        [-list] [-v]
 //
 // The output of -jobs N is byte-identical to -jobs 1 for every format:
 // parallelism changes wall-clock time only. With -cache-dir, results
 // persist in a content-addressed on-disk store (internal/cache): a
 // repeated run with the same directory executes nothing and emits the
 // same bytes, and the store is shared with a figuresd daemon pointed
-// at the same directory. The process exits non-zero when any
-// experiment in the run fails, even though the failed row is still
-// encoded in the output.
+// at the same directory. With -workers host1:port,host2:port, the run
+// fans out across a figuresd fleet through the shard coordinator
+// (internal/shard) and the merged output is still byte-identical to a
+// local run — -jobs then governs only the local fallback, because
+// remote workers own their own concurrency. The process exits
+// non-zero when any experiment in the run fails, even though the
+// failed row is still encoded in the output.
 package main
 
 import (
@@ -25,11 +30,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/shard"
 )
 
 // testRegistry overrides the experiment registry in tests (to count
@@ -53,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeout  = fs.Duration("timeout", 0, "per-experiment wall-clock limit (0 = none)")
 		cacheDir = fs.String("cache-dir", "", "cache experiment results in this directory")
 		noCache  = fs.Bool("no-cache", false, "ignore -cache-dir and run everything fresh")
+		workers  = fs.String("workers", "", "comma-separated figuresd workers (host:port) to fan the run out to; unreachable workers fall back to local execution, which -jobs governs")
 		outFile  = fs.String("o", "", "write output to this file instead of stdout")
 		list     = fs.Bool("list", false, "list experiment ids and exit")
 		verbose  = fs.Bool("v", false, "report per-experiment timing on stderr")
@@ -78,11 +84,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var ids []string
 	if *runIDs != "" {
-		for _, id := range strings.Split(*runIDs, ",") {
-			if id = strings.TrimSpace(id); id != "" {
-				ids = append(ids, id)
-			}
-		}
+		ids = shard.SplitList(*runIDs)
 		if len(ids) == 0 {
 			return fmt.Errorf("-run %q names no experiments", *runIDs)
 		}
@@ -127,8 +129,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	start := time.Now()
-	results, err := experiments.Run(context.Background(), opts)
+	var results []experiments.Result
+	if *workers != "" {
+		results, err = runSharded(shard.SplitList(*workers), ids, opts, stderr, *verbose)
+	} else {
+		results, err = experiments.Run(context.Background(), opts)
+	}
 	if err != nil {
+		if f != nil {
+			f.Close()
+		}
 		return err
 	}
 	if *verbose {
@@ -144,7 +154,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "figures: total %.3fs\n", time.Since(start).Seconds())
 	}
-	if opts.Cache != nil {
+	// The hit-rate line only describes a local run: a sharded run's
+	// hits happen inside each worker's own cache, invisible here.
+	if opts.Cache != nil && *workers == "" {
 		hits := 0
 		for _, r := range results {
 			if r.Cached {
@@ -167,4 +179,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return experiments.FirstError(results)
+}
+
+// runSharded fans the run out across a figuresd fleet via the shard
+// coordinator, reporting the fleet summary on stderr. opts carries the
+// local-fallback engine configuration (registry, cache, timeout, jobs).
+func runSharded(fleet, ids []string, opts experiments.Options, stderr io.Writer, verbose bool) ([]experiments.Result, error) {
+	var logf func(format string, args ...any)
+	if verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	// A -timeout above the remote-fetch default must reach the fleet
+	// too, or long experiments could never be served remotely; the
+	// margin covers transfer and queueing on the worker.
+	var reqTimeout time.Duration
+	if opts.Timeout > 0 {
+		reqTimeout = opts.Timeout + 30*time.Second
+	}
+	coord, err := shard.New(shard.Options{
+		Workers:        fleet,
+		RequestTimeout: reqTimeout,
+		Local:          opts,
+		Logf:           logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	results, err := coord.Run(context.Background(), ids)
+	if err != nil {
+		return nil, err
+	}
+	st := coord.Stats()
+	fmt.Fprintf(stderr, "figures: shard %d/%d workers healthy, %d remote, %d local\n",
+		st.WorkersHealthy, st.WorkersTotal, st.Remote, st.Local)
+	return results, nil
 }

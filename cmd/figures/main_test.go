@@ -4,12 +4,17 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/server"
 )
 
 // hookRegistry installs a registry override that counts every runner
@@ -242,5 +247,135 @@ func TestRunBadFlags(t *testing.T) {
 		if err := run(args, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// shardWorker stands up one in-process figuresd worker over a fresh
+// copy of the real registry (separate from the CLI's hooked registry,
+// so local and remote executions are counted apart).
+func shardWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Options{Registry: experiments.Registry()}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// killAfter passes experiment requests through to the wrapped handler
+// a limited number of times, then severs every later connection — a
+// worker killed mid-batch, as the coordinator's client sees it.
+type killAfter struct {
+	served atomic.Int64
+	limit  int64
+	h      http.Handler
+}
+
+func (k *killAfter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/experiments/") && k.served.Add(1) > k.limit {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+		return
+	}
+	k.h.ServeHTTP(w, r)
+}
+
+// TestWorkersShardedByteIdentical is the CLI acceptance gate for the
+// shard layer: -workers against a two-worker fleet emits bytes
+// identical to the local run, executes nothing locally, and reports
+// the fleet summary on stderr.
+func TestWorkersShardedByteIdentical(t *testing.T) {
+	const ids = "E1,E7,E8,E11"
+	localExecs := hookRegistry(t, experiments.Registry())
+	w1, w2 := shardWorker(t), shardWorker(t)
+	fleet := strings.TrimPrefix(w1.URL, "http://") + "," + strings.TrimPrefix(w2.URL, "http://")
+
+	var local bytes.Buffer
+	if err := run([]string{"-run", ids, "-jobs", "1"}, &local, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if *localExecs != 4 {
+		t.Fatalf("baseline executed %d runners, want 4", *localExecs)
+	}
+
+	var sharded, shardedErr bytes.Buffer
+	if err := run([]string{"-run", ids, "-jobs", "1", "-workers", fleet}, &sharded, &shardedErr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), sharded.Bytes()) {
+		t.Errorf("-workers output differs from local run:\n%s\nvs\n%s", sharded.String(), local.String())
+	}
+	if *localExecs != 4 {
+		t.Errorf("sharded run executed %d runners locally, want 0", *localExecs-4)
+	}
+	if !strings.Contains(shardedErr.String(), "figures: shard 2/2 workers healthy, 4 remote, 0 local") {
+		t.Errorf("stderr = %q, want the fleet summary line", shardedErr.String())
+	}
+}
+
+// TestWorkersOneKilledMidBatch: with one worker severing connections
+// after its first experiment, the batch fails over to the survivor
+// and the merged output is still byte-identical to the local run.
+func TestWorkersOneKilledMidBatch(t *testing.T) {
+	const ids = "E1,E7,E8,E11"
+	localExecs := hookRegistry(t, experiments.Registry())
+
+	doomed := httptest.NewServer(&killAfter{
+		limit: 1,
+		h:     server.New(server.Options{Registry: experiments.Registry()}),
+	})
+	t.Cleanup(doomed.Close)
+	survivor := shardWorker(t)
+	fleet := strings.TrimPrefix(doomed.URL, "http://") + "," + strings.TrimPrefix(survivor.URL, "http://")
+
+	var local bytes.Buffer
+	if err := run([]string{"-run", ids, "-jobs", "1"}, &local, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var sharded, shardedErr bytes.Buffer
+	if err := run([]string{"-run", ids, "-jobs", "1", "-workers", fleet}, &sharded, &shardedErr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), sharded.Bytes()) {
+		t.Errorf("output differs with a worker killed mid-batch:\n%s\nvs\n%s", sharded.String(), local.String())
+	}
+	if *localExecs != 4 {
+		t.Errorf("sharded run executed %d runners locally, want 0 (survivor must absorb)", *localExecs-4)
+	}
+	if !strings.Contains(shardedErr.String(), "4 remote, 0 local") {
+		t.Errorf("stderr = %q, want every experiment served remotely", shardedErr.String())
+	}
+}
+
+// TestWorkersDeadFleetFallsBack: with no worker reachable, -workers
+// degrades to local execution with identical output and a summary
+// line saying so.
+func TestWorkersDeadFleetFallsBack(t *testing.T) {
+	const ids = "E1,E8"
+	localExecs := hookRegistry(t, experiments.Registry())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+
+	var local bytes.Buffer
+	if err := run([]string{"-run", ids, "-jobs", "1"}, &local, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var sharded, shardedErr bytes.Buffer
+	if err := run([]string{"-run", ids, "-jobs", "1", "-workers", dead}, &sharded, &shardedErr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), sharded.Bytes()) {
+		t.Errorf("dead-fleet output differs from local run")
+	}
+	if *localExecs != 4 {
+		t.Errorf("executions = %d, want 4 (2 baseline + 2 fallback)", *localExecs)
+	}
+	if !strings.Contains(shardedErr.String(), "figures: shard 0/1 workers healthy, 0 remote, 2 local") {
+		t.Errorf("stderr = %q, want the all-local summary", shardedErr.String())
 	}
 }

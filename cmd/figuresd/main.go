@@ -6,16 +6,23 @@
 // Usage:
 //
 //	figuresd [-addr host:port] [-cache-dir DIR] [-timeout D] [-grace D]
+//	         [-peers host1:port,host2:port]
 //
 // Endpoints:
 //
 //	GET /experiments                              the experiment index
 //	GET /experiments/{id}?format=text|json|csv    one experiment's table
 //	GET /healthz                                  liveness probe
+//	GET /stats                                    operational counters
 //
 // Concurrent requests for the same cold experiment are deduplicated to
 // a single execution; with -cache-dir, results persist across restarts
-// and are shared with cmd/figures runs using the same directory.
+// and are shared with cmd/figures runs using the same directory. With
+// -peers, this daemon becomes the front door of a figuresd fleet:
+// experiment execution fans out to the peers through the shard
+// coordinator (internal/shard) and falls back to running locally when
+// the fleet cannot serve — the smoke path tests use to stand a fleet
+// up behind one address.
 package main
 
 import (
@@ -35,7 +42,12 @@ import (
 	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
+
+// testRegistry overrides the experiment registry in tests; nil
+// outside of tests (the real E1..E14 registry is served).
+var testRegistry map[string]experiments.Runner
 
 func main() {
 	if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
@@ -52,6 +64,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		cacheDir = fs.String("cache-dir", "", "result cache directory (empty = no cache)")
 		timeout  = fs.Duration("timeout", server.DefaultTimeout, "per-experiment execution limit (0 = none)")
 		grace    = fs.Duration("grace", 5*time.Second, "graceful-shutdown window")
+		peers    = fs.String("peers", "", "comma-separated figuresd peers (host:port) to fan experiment execution out to; this daemon fronts the fleet and falls back to local execution")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -61,25 +74,10 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 
 	logger := log.New(stderr, "", log.LstdFlags)
-	var store experiments.Cache
-	if *cacheDir != "" {
-		s, err := cache.Open(*cacheDir, cache.Options{})
-		if err != nil {
-			return err
-		}
-		store = s
+	srv, err := newHandler(*cacheDir, *peers, *timeout, logger.Printf)
+	if err != nil {
+		return err
 	}
-	// The flag follows cmd/figures' convention (0 = no limit); the
-	// server API spells that -1, with 0 meaning "use the default".
-	execTimeout := *timeout
-	if execTimeout == 0 {
-		execTimeout = -1
-	}
-	srv := server.New(server.Options{
-		Cache:   store,
-		Timeout: execTimeout,
-		Logf:    logger.Printf,
-	})
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -91,6 +89,58 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 	logger.Printf("figuresd: serving on http://%s (cache %s, timeout %v)", l.Addr(), cacheNote, *timeout)
 	return serve(ctx, l, srv, *grace)
+}
+
+// newHandler assembles the daemon's HTTP handler: the serving layer
+// over the in-process engine, optionally cache-backed, and — with
+// peers — over a shard coordinator instead, so this daemon fronts a
+// fleet. timeout follows the flag convention (0 = no limit).
+func newHandler(cacheDir, peers string, timeout time.Duration, logf func(format string, args ...any)) (http.Handler, error) {
+	var store experiments.Cache
+	if cacheDir != "" {
+		s, err := cache.Open(cacheDir, cache.Options{})
+		if err != nil {
+			return nil, err
+		}
+		store = s
+	}
+	// The flag follows cmd/figures' convention (0 = no limit); the
+	// server API spells that -1, with 0 meaning "use the default".
+	execTimeout := timeout
+	if execTimeout == 0 {
+		execTimeout = -1
+	}
+	opts := server.Options{
+		Registry: testRegistry,
+		Cache:    store,
+		Timeout:  execTimeout,
+		Logf:     logf,
+	}
+	if peers != "" {
+		// A -timeout above the remote-fetch default must reach the
+		// fleet too; the margin covers transfer and queueing.
+		var reqTimeout time.Duration
+		if timeout > 0 {
+			reqTimeout = timeout + 30*time.Second
+		}
+		coord, err := shard.New(shard.Options{
+			Workers:        shard.SplitList(peers),
+			RequestTimeout: reqTimeout,
+			Local: experiments.Options{
+				Registry: testRegistry,
+				Cache:    store,
+				Timeout:  timeout,
+			},
+			Logf: logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st := coord.Stats()
+		logf("figuresd: fronting %d/%d peers (local fallback ready)", st.WorkersHealthy, st.WorkersTotal)
+		opts.Backend = coord.RunOne
+	}
+	return server.New(opts), nil
 }
 
 // serve runs the HTTP server on l until ctx is cancelled or a signal

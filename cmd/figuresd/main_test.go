@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -85,5 +86,110 @@ func TestServeLifecycle(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("serve did not shut down within the grace window")
+	}
+}
+
+// syntheticRegistry builds a one-experiment registry with an
+// execution counter.
+func syntheticRegistry(id string, executions *atomic.Int64) map[string]experiments.Runner {
+	return map[string]experiments.Runner{
+		id: func() (*experiments.Table, error) {
+			executions.Add(1)
+			return &experiments.Table{ID: id, Title: "synthetic " + id,
+				Headers: []string{"h"}, Rows: [][]string{{"v"}}}, nil
+		},
+	}
+}
+
+// TestPeersFrontsFleet is the figuresd -peers smoke path: a front
+// daemon with peers delegates experiment execution to the fleet, its
+// own registry never runs, and /stats answers on the front door.
+func TestPeersFrontsFleet(t *testing.T) {
+	var peerExecs, frontExecs atomic.Int64
+	peer1 := httptest.NewServer(server.New(server.Options{Registry: syntheticRegistry("E1", &peerExecs)}))
+	defer peer1.Close()
+	peer2 := httptest.NewServer(server.New(server.Options{Registry: syntheticRegistry("E1", &peerExecs)}))
+	defer peer2.Close()
+
+	testRegistry = syntheticRegistry("E1", &frontExecs)
+	defer func() { testRegistry = nil }()
+
+	peers := strings.TrimPrefix(peer1.URL, "http://") + "," + strings.TrimPrefix(peer2.URL, "http://")
+	handler, err := newHandler("", peers, 0, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(handler)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/experiments/E1?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "synthetic E1") {
+		t.Fatalf("front response = %d %q", resp.StatusCode, body)
+	}
+	if n := peerExecs.Load(); n != 1 {
+		t.Errorf("fleet executed %d runners, want 1", n)
+	}
+	if n := frontExecs.Load(); n != 0 {
+		t.Errorf("front executed %d runners locally, want 0 (peers own execution)", n)
+	}
+
+	stats, err := http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBody, err := io.ReadAll(stats.Body)
+	stats.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StatusCode != http.StatusOK || !strings.Contains(string(statsBody), `"in_flight"`) {
+		t.Fatalf("front /stats = %d %q", stats.StatusCode, statsBody)
+	}
+}
+
+// TestPeersDeadFleetFallsBackLocal: a front daemon whose peers are
+// all unreachable still serves — experiments run through its own
+// engine.
+func TestPeersDeadFleetFallsBackLocal(t *testing.T) {
+	var frontExecs atomic.Int64
+	testRegistry = syntheticRegistry("E1", &frontExecs)
+	defer func() { testRegistry = nil }()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+
+	handler, err := newHandler("", dead, 0, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(handler)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/experiments/E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "synthetic E1") {
+		t.Fatalf("fallback response = %d %q", resp.StatusCode, body)
+	}
+	if n := frontExecs.Load(); n != 1 {
+		t.Errorf("front executed %d runners, want 1 (local fallback)", n)
 	}
 }

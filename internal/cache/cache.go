@@ -14,7 +14,9 @@
 //
 // Store implements experiments.Cache, so it plugs directly into
 // experiments.Options; cmd/figures (-cache-dir) and cmd/figuresd wire
-// it up.
+// it up. Stats counts hits, misses, corruption, and evictions since
+// Open — the counters internal/server republishes on its /stats
+// endpoint.
 package cache
 
 import (

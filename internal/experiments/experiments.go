@@ -8,6 +8,23 @@
 // output to serial runs. EncodeText, EncodeJSON, and EncodeCSV render a
 // result slice; the cmd/figures binary is the CLI over all of it, and the
 // root benchmarks wrap the individual experiments.
+//
+// Two properties make the engine composable with the layers above it.
+// First, the JSON wire form (EncodeJSON, inverted by DecodeJSON) is a
+// pure function of an experiment's outputs — durations and cache
+// provenance are excluded — so a result that travelled through the
+// on-disk cache (internal/cache) or over HTTP (internal/server,
+// internal/shard) re-encodes to exactly the bytes a fresh local run
+// would have produced. Second, result order is always request order,
+// never completion order. Together they are the merge-order guarantee:
+// any distribution of the work — across goroutines (Jobs), cache hits,
+// or a remote worker fleet — emits byte-identical output.
+//
+// Options.Cache is the storage seam: a two-method Get/Put interface
+// consulted before each runner and updated after each success, with
+// failed results never stored. RegistryVersion names the current
+// experiment generation and must be bumped whenever output bytes could
+// change; cache keys include it, so stale stores miss instead of lying.
 package experiments
 
 import (
@@ -62,6 +79,17 @@ func Registry() map[string]Runner {
 
 // IDs returns the experiment ids in order.
 func IDs() []string { return sortIDs(Registry()) }
+
+// IDsOf returns a registry's experiment ids in index order ("E2"
+// before "E10"); nil means the built-in registry. Callers that accept
+// a registry override (the shard coordinator, tests) use it to expand
+// "run everything" the same way Run does.
+func IDsOf(reg map[string]Runner) []string {
+	if reg == nil {
+		reg = Registry()
+	}
+	return sortIDs(reg)
+}
 
 // sortIDs returns a registry's ids sorted by numeric suffix ("E2" before
 // "E10"), falling back to lexicographic order for ids without one.

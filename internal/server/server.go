@@ -1,7 +1,10 @@
 // Package server is the HTTP serving layer over the experiment engine:
 // cmd/figuresd mounts it as a daemon. It serves the experiment index,
-// individual experiment tables in every encoder format, and a health
-// probe, with three protections a CLI run does not need:
+// individual experiment tables in every encoder format, a health
+// probe, and an operational /stats snapshot (cache hit/miss/eviction
+// counters, per-experiment latency, in-flight count — the load signal
+// internal/shard ranks workers by), with three protections a CLI run
+// does not need:
 //
 //   - singleflight deduplication: N concurrent requests for a cold
 //     experiment trigger exactly one execution, and all N responses
@@ -10,6 +13,10 @@
 //     client disconnect cannot poison the result other waiters share;
 //   - optional cache backing (internal/cache): warm experiments are
 //     served from disk without executing anything.
+//
+// Execution is pluggable through Options.Backend: cmd/figuresd -peers
+// installs a shard.Coordinator there, turning one daemon into the
+// front door of a fleet while keeping every serving-layer guarantee.
 package server
 
 import (
@@ -21,6 +28,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -43,6 +51,14 @@ type Options struct {
 	// Timeout bounds each experiment execution; 0 means
 	// DefaultTimeout, negative means no limit.
 	Timeout time.Duration
+	// Backend, when non-nil, replaces the in-process engine for
+	// experiment execution: the singleflight, detached timeout (via
+	// the context's deadline), and cooldown still apply, but the
+	// result comes from the backend — cmd/figuresd -peers wires a
+	// shard coordinator in here so one daemon fronts a fleet. A
+	// backend owns its own caching; Options.Cache is not consulted
+	// around it.
+	Backend func(ctx context.Context, id string) (experiments.Result, error)
 	// Logf receives one line per request; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -52,17 +68,24 @@ type Options struct {
 //	GET /experiments                         the experiment index (JSON)
 //	GET /experiments/{id}?format=text|json|csv   one experiment's table
 //	GET /healthz                             liveness probe
+//	GET /stats                               operational counters (JSON)
 type Server struct {
 	reg     map[string]experiments.Runner
 	ids     []string
 	cache   experiments.Cache
 	timeout time.Duration
+	backend func(ctx context.Context, id string) (experiments.Result, error)
 	logf    func(format string, args ...any)
 	flights flightGroup
 	mux     *http.ServeMux
 
 	mu        sync.Mutex
 	cooldowns map[string]cooldownEntry
+
+	inFlight atomic.Int64
+	requests atomic.Int64
+	statsMu  sync.Mutex
+	perExp   map[string]*expStat
 }
 
 // New builds a server over the given registry and cache.
@@ -89,13 +112,16 @@ func New(opts Options) *Server {
 		ids:       ids,
 		cache:     opts.Cache,
 		timeout:   timeout,
+		backend:   opts.Backend,
 		logf:      logf,
 		mux:       http.NewServeMux(),
 		cooldowns: make(map[string]cooldownEntry),
+		perExp:    make(map[string]*expStat),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /experiments", s.handleIndex)
 	s.mux.HandleFunc("GET /experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
 }
 
@@ -149,7 +175,11 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.requests.Add(1)
+	s.inFlight.Add(1)
 	res, shared, err := s.execute(id)
+	s.inFlight.Add(-1)
+	s.record(id, time.Since(start), err != nil || res.Err != nil)
 	if err != nil {
 		// Engine configuration errors only; the id was validated, so
 		// this is a server bug rather than a client mistake.
@@ -198,6 +228,16 @@ func (s *Server) execute(id string) (experiments.Result, bool, error) {
 		timeout := s.timeout
 		if timeout < 0 {
 			timeout = 0
+		}
+		if s.backend != nil {
+			ctx := context.Background()
+			if timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			res, err := s.backend(ctx, id)
+			return res, err
 		}
 		results, err := experiments.Run(context.Background(), experiments.Options{
 			IDs:      []string{id},

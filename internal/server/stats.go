@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+)
+
+// StatsResponse is the GET /stats body: one process's operational
+// counters since startup. It exists so operators can watch a figuresd
+// instance and so a shard coordinator can rank workers — InFlight is
+// the load signal least-loaded selection seeds from. Counters only
+// ever grow (except InFlight, which tracks the instant); the response
+// is a snapshot, not an atomic cut across fields.
+type StatsResponse struct {
+	// RegistryVersion identifies the experiment generation this
+	// process serves (cache keys depend on it).
+	RegistryVersion string `json:"registry_version"`
+	// InFlight is the number of experiment requests currently between
+	// arrival and response — including time spent waiting on another
+	// request's singleflight execution.
+	InFlight int64 `json:"in_flight"`
+	// Requests counts experiment requests accepted (valid id and
+	// format) since startup, whatever their outcome.
+	Requests int64 `json:"requests"`
+	// Cache carries the result store's counters; absent when the
+	// process runs cacheless or the store does not report stats.
+	Cache *StatsCache `json:"cache,omitempty"`
+	// Experiments holds per-experiment latency counters, keyed by id;
+	// an experiment never requested has no entry.
+	Experiments map[string]StatsExperiment `json:"experiments"`
+}
+
+// StatsCache mirrors cache.Stats on the wire.
+type StatsCache struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Corrupt int64   `json:"corrupt"`
+	Evicted int64   `json:"evicted"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// StatsExperiment is one experiment's request-latency record. Times
+// are wall-clock milliseconds as observed by the serving path, so a
+// request that joined an in-flight execution or hit the cache reports
+// its (short) wait, not the runner's cost.
+type StatsExperiment struct {
+	Count       int64   `json:"count"`
+	Errors      int64   `json:"errors"`
+	TotalMillis float64 `json:"total_ms"`
+	MaxMillis   float64 `json:"max_ms"`
+	LastMillis  float64 `json:"last_ms"`
+}
+
+// expStat is the internal accumulator behind StatsExperiment.
+type expStat struct {
+	count, errors    int64
+	total, max, last time.Duration
+}
+
+// record folds one served experiment request into the counters.
+func (s *Server) record(id string, d time.Duration, failed bool) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	st := s.perExp[id]
+	if st == nil {
+		st = &expStat{}
+		s.perExp[id] = st
+	}
+	st.count++
+	if failed {
+		st.errors++
+	}
+	st.total += d
+	st.last = d
+	if d > st.max {
+		st.max = d
+	}
+}
+
+func millis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+func (s *Server) experimentStats() map[string]StatsExperiment {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	out := make(map[string]StatsExperiment, len(s.perExp))
+	for id, st := range s.perExp {
+		out[id] = StatsExperiment{
+			Count:       st.count,
+			Errors:      st.errors,
+			TotalMillis: millis(st.total),
+			MaxMillis:   millis(st.max),
+			LastMillis:  millis(st.last),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		RegistryVersion: experiments.RegistryVersion,
+		InFlight:        s.inFlight.Load(),
+		Requests:        s.requests.Load(),
+		Experiments:     s.experimentStats(),
+	}
+	// The engine-facing cache interface has no counters; only stores
+	// that report them (internal/cache.Store) appear in the response.
+	if cs, ok := s.cache.(interface{ Stats() cache.Stats }); ok {
+		st := cs.Stats()
+		resp.Cache = &StatsCache{
+			Hits:    st.Hits,
+			Misses:  st.Misses,
+			Corrupt: st.Corrupt,
+			Evicted: st.Evicted,
+			HitRate: st.HitRate(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}

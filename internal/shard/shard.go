@@ -1,0 +1,522 @@
+// Package shard distributes an experiment run across a fleet of
+// figuresd workers: the HTTP fan-out coordinator the serving layer
+// (internal/server) was built for. Each experiment is fetched from a
+// worker via GET /experiments/{id}?format=json, decoded with
+// experiments.DecodeJSON, and merged back in request order — and
+// because the JSON wire form is a pure function of experiment outputs,
+// sharded output is byte-identical to a local run, the invariant every
+// test and CI gate here pins.
+//
+// The coordinator owns worker health end to end:
+//
+//   - startup: every worker's /healthz is probed concurrently; a
+//     worker that fails the probe starts unhealthy and is never
+//     selected. Its /stats in-flight count (server.StatsResponse)
+//     seeds the load accounting, so a worker that is already busy
+//     serving other clients starts deprioritized.
+//   - selection: least-loaded — the healthy untried worker with the
+//     fewest in-flight requests (scraped baseline + the coordinator's
+//     own accounting) wins. A bounded per-worker in-flight cap
+//     (DefaultMaxInFlight) keeps one slow worker from serializing the
+//     batch: once a worker is saturated, work flows to its peers.
+//   - failure: every request carries its own timeout. A transport
+//     error (connection refused, reset, EOF — a killed worker) evicts
+//     the worker; an HTTP-level failure (non-200, undecodable body,
+//     mismatched id) only fails the attempt. Either way the
+//     experiment fails over to the next worker, bounded by
+//     Options.Retries distinct workers. Eviction is not forever: a
+//     coordinator can outlive a worker restart (cmd/figuresd -peers
+//     runs one for the daemon's whole life), so after ReviveAfter a
+//     live request is allowed to re-try an evicted worker, and one
+//     success restores it to full rotation.
+//   - fallback: an experiment that exhausts the fleet — including the
+//     whole fleet being unreachable — runs locally through the
+//     in-process engine with the coordinator's Local options, so a
+//     sharded run degrades to a local run rather than failing.
+//
+// Deterministic experiment failures are reproduced by the fallback:
+// a worker reports them as HTTP 500, the coordinator fails over and
+// finally re-runs locally, producing the same failed Result (and the
+// same encoded bytes) a local run would have.
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+const (
+	// DefaultRequestTimeout bounds one remote experiment fetch —
+	// generous because a cold exhaustive exploration legitimately
+	// takes up to the worker's own execution timeout (2m default).
+	DefaultRequestTimeout = 3 * time.Minute
+	// DefaultProbeTimeout bounds the startup /healthz and /stats
+	// probes; a worker that cannot answer a liveness check in this
+	// window is not worth routing experiments to.
+	DefaultProbeTimeout = 5 * time.Second
+	// DefaultMaxInFlight caps concurrent requests per worker so a
+	// slow worker holds at most this many experiments while its
+	// peers absorb the rest of the batch.
+	DefaultMaxInFlight = 4
+	// DefaultReviveAfter is how long an evicted worker stays out of
+	// rotation before a live request may re-try it — long enough not
+	// to hammer a dead host, short enough that a restarted worker
+	// rejoins a long-lived coordinator promptly.
+	DefaultReviveAfter = 15 * time.Second
+	// baselineTTL bounds how long the /stats in-flight count scraped
+	// at probe time keeps inflating a worker's load: the snapshot
+	// describes startup, not steady state, so it expires rather than
+	// skewing selection forever.
+	baselineTTL = 30 * time.Second
+)
+
+// Options configures New. Workers is the only required field.
+type Options struct {
+	// Workers lists the fleet as host:port addresses (a scheme-full
+	// URL is accepted too). Order is irrelevant: selection is by
+	// load, not position.
+	Workers []string
+	// Client overrides the HTTP client; nil means a default client
+	// (per-request timeouts come from RequestTimeout, not the client).
+	Client *http.Client
+	// RequestTimeout bounds each remote experiment fetch; <= 0 means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// ProbeTimeout bounds the startup health probes; <= 0 means
+	// DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// MaxInFlight caps concurrent requests per worker; <= 0 means
+	// DefaultMaxInFlight.
+	MaxInFlight int
+	// Retries is the number of distinct workers tried per experiment
+	// before falling back to local execution; <= 0 means every
+	// worker.
+	Retries int
+	// ReviveAfter is how long an evicted worker stays unselectable
+	// before a live request may re-try it; <= 0 means
+	// DefaultReviveAfter.
+	ReviveAfter time.Duration
+	// Local configures the in-process fallback engine (Registry,
+	// Cache, Timeout; Jobs bounds how many fallback experiments run
+	// concurrently). IDs is ignored — the coordinator fills it per
+	// experiment.
+	Local experiments.Options
+	// Logf receives one line per notable event (unreachable worker,
+	// failover, fallback); nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of a coordinator's traffic counters.
+type Stats struct {
+	// WorkersTotal and WorkersHealthy describe the fleet now — a
+	// worker that died mid-batch has already left WorkersHealthy.
+	WorkersTotal, WorkersHealthy int
+	// Remote counts experiments served by the fleet, Local those that
+	// fell back to the in-process engine.
+	Remote, Local int64
+	// Failovers counts failed attempts that moved an experiment to
+	// another worker (or, when none remained, to the local fallback).
+	Failovers int64
+}
+
+// worker is one fleet member and its load accounting.
+type worker struct {
+	base     string        // http://host:port, no trailing slash
+	sem      chan struct{} // bounds in-flight requests to this worker
+	inflight atomic.Int64  // the coordinator's own in-flight count
+	healthy  atomic.Bool
+	retryAt  atomic.Int64 // unix nanos after which eviction may be re-tried
+
+	// baseline is the worker's /stats in-flight count at probe time
+	// (load from clients this coordinator cannot see), counted toward
+	// selection until baselineUntil. Written only during New's probe,
+	// before any pick can run.
+	baseline      int64
+	baselineUntil time.Time
+}
+
+// selectable reports whether the worker may receive a request:
+// healthy, or evicted long enough ago that a revival attempt is due.
+func (w *worker) selectable(now time.Time) bool {
+	if w.healthy.Load() {
+		return true
+	}
+	r := w.retryAt.Load()
+	return r != 0 && now.UnixNano() >= r
+}
+
+// load is the selection key: the coordinator's own in-flight count
+// plus the scraped startup baseline while it is still fresh.
+func (w *worker) load(now time.Time) int64 {
+	l := w.inflight.Load()
+	if now.Before(w.baselineUntil) {
+		l += w.baseline
+	}
+	return l
+}
+
+// Coordinator fans experiment runs out across a figuresd fleet. It is
+// safe for concurrent use; one coordinator can serve many Run/RunOne
+// calls at once (cmd/figuresd -peers does exactly that).
+type Coordinator struct {
+	workers     []*worker
+	client      *http.Client
+	reqTimeout  time.Duration
+	retries     int
+	reviveAfter time.Duration
+	local       experiments.Options
+	localSem    chan struct{}
+	logf        func(format string, args ...any)
+
+	pickMu    sync.Mutex
+	remote    atomic.Int64
+	localRuns atomic.Int64
+	failovers atomic.Int64
+}
+
+// New builds a coordinator over the given fleet and probes every
+// worker's health concurrently before returning. An unreachable
+// worker is not an error — it starts unhealthy and the coordinator
+// degrades toward local execution — but an empty worker list is.
+func New(opts Options) (*Coordinator, error) {
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("shard: no workers configured")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	reqTimeout := opts.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = DefaultRequestTimeout
+	}
+	probeTimeout := opts.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = DefaultProbeTimeout
+	}
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	retries := opts.Retries
+	if retries <= 0 {
+		retries = len(opts.Workers)
+	}
+	reviveAfter := opts.ReviveAfter
+	if reviveAfter <= 0 {
+		reviveAfter = DefaultReviveAfter
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	jobs := opts.Local.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	c := &Coordinator{
+		client:      client,
+		reqTimeout:  reqTimeout,
+		retries:     retries,
+		reviveAfter: reviveAfter,
+		local:       opts.Local,
+		localSem:    make(chan struct{}, jobs),
+		logf:        logf,
+	}
+	for _, addr := range opts.Workers {
+		c.workers = append(c.workers, &worker{
+			base: baseURL(addr),
+			sem:  make(chan struct{}, maxInFlight),
+		})
+	}
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			c.probe(w, probeTimeout)
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	c.logf("shard: %d/%d workers healthy", st.WorkersHealthy, st.WorkersTotal)
+	return c, nil
+}
+
+// baseURL normalizes a worker address to a scheme-full base URL.
+func baseURL(addr string) string {
+	addr = strings.TrimRight(addr, "/")
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return addr
+}
+
+// SplitList parses a comma-separated flag value — the format the
+// -workers, -peers, and -run flags share — dropping empty entries and
+// surrounding whitespace.
+func SplitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// probe marks w healthy if its /healthz answers 200 within the
+// timeout, then seeds the load accounting from its /stats in-flight
+// count (best-effort: a worker without /stats just starts at zero).
+// A failed probe schedules revival like any other eviction, so a
+// worker that was merely slow to boot rejoins a long-lived
+// coordinator.
+func (c *Coordinator) probe(w *worker, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/healthz", nil)
+	if err != nil {
+		c.logf("shard: worker %s: bad address: %v", w.base, err)
+		c.evict(w)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.logf("shard: worker %s unreachable: %v", w.base, err)
+		c.evict(w)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.logf("shard: worker %s /healthz: status %d", w.base, resp.StatusCode)
+		c.evict(w)
+		return
+	}
+	w.healthy.Store(true)
+	if st, err := c.scrapeStats(ctx, w); err == nil {
+		w.baseline = st.InFlight
+		w.baselineUntil = time.Now().Add(baselineTTL)
+	}
+}
+
+// evict takes w out of rotation and schedules the moment a live
+// request may try it again.
+func (c *Coordinator) evict(w *worker) {
+	w.healthy.Store(false)
+	w.retryAt.Store(time.Now().Add(c.reviveAfter).UnixNano())
+}
+
+// revive returns w to full rotation after a successful request.
+func (c *Coordinator) revive(w *worker) {
+	if !w.healthy.Swap(true) {
+		c.logf("shard: worker %s revived", w.base)
+	}
+}
+
+// scrapeStats fetches one worker's /stats snapshot.
+func (c *Coordinator) scrapeStats(ctx context.Context, w *worker) (server.StatsResponse, error) {
+	var st server.StatsResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/stats", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("shard: worker %s /stats: status %d", w.base, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("shard: worker %s /stats: %w", w.base, err)
+	}
+	return st, nil
+}
+
+// Run executes the selected experiments across the fleet and returns
+// one Result per requested id, in request order — the same contract as
+// experiments.Run, which it degrades to when the fleet cannot serve.
+// Because results are merged in request order and the JSON wire form
+// is a pure function of experiment outputs, the encoded output of a
+// sharded run is byte-identical to a local run of the same ids. Empty
+// ids means every experiment in the local registry, in index order.
+// Run errors only on configuration mistakes (an unknown id).
+func (c *Coordinator) Run(ctx context.Context, ids []string) ([]experiments.Result, error) {
+	reg := c.local.Registry
+	if reg == nil {
+		reg = experiments.Registry()
+	}
+	if len(ids) == 0 {
+		ids = experiments.IDsOf(reg)
+	}
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			return nil, fmt.Errorf("shard: unknown experiment %q", id)
+		}
+	}
+	results := make([]experiments.Result, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			results[i], errs[i] = c.runOne(ctx, id)
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunOne executes a single experiment through the fleet with the same
+// failover and fallback rules as Run. It is the execution backend
+// cmd/figuresd -peers plugs into internal/server.
+func (c *Coordinator) RunOne(ctx context.Context, id string) (experiments.Result, error) {
+	return c.runOne(ctx, id)
+}
+
+// runOne tries up to c.retries distinct workers, least-loaded first,
+// then falls back to the local engine.
+func (c *Coordinator) runOne(ctx context.Context, id string) (experiments.Result, error) {
+	tried := make(map[*worker]bool)
+	for attempt := 0; attempt < c.retries; attempt++ {
+		w := c.pick(tried)
+		if w == nil {
+			break // fleet exhausted (or entirely unhealthy)
+		}
+		tried[w] = true
+		res, err := c.fetch(ctx, w, id)
+		w.inflight.Add(-1)
+		if err == nil {
+			c.remote.Add(1)
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return experiments.Result{ID: id, Err: ctx.Err()}, nil
+		}
+		c.failovers.Add(1)
+		c.logf("shard: %s on %s failed (%v); failing over", id, w.base, err)
+	}
+	return c.runLocal(ctx, id)
+}
+
+// pick returns the selectable, untried worker with the lowest load,
+// charging it one in-flight slot (the caller releases it), or nil
+// when no worker qualifies.
+func (c *Coordinator) pick(tried map[*worker]bool) *worker {
+	c.pickMu.Lock()
+	defer c.pickMu.Unlock()
+	now := time.Now()
+	var best *worker
+	for _, w := range c.workers {
+		if tried[w] || !w.selectable(now) {
+			continue
+		}
+		if best == nil || w.load(now) < best.load(now) {
+			best = w
+		}
+	}
+	if best != nil {
+		best.inflight.Add(1)
+	}
+	return best
+}
+
+// fetch retrieves one experiment from one worker, holding a slot of
+// the worker's in-flight cap for the duration. A transport failure
+// evicts the worker — unless it is this request's own deadline,
+// because a slow experiment is not a dead worker — and a success
+// restores an evicted worker to rotation.
+func (c *Coordinator) fetch(ctx context.Context, w *worker, id string) (experiments.Result, error) {
+	select {
+	case w.sem <- struct{}{}:
+	case <-ctx.Done():
+		return experiments.Result{}, ctx.Err()
+	}
+	defer func() { <-w.sem }()
+	ctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+	defer cancel()
+	u := w.base + "/experiments/" + url.PathEscape(id) + "?format=json"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return experiments.Result{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			c.evict(w)
+		}
+		return experiments.Result{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return experiments.Result{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	results, err := experiments.DecodeJSON(resp.Body)
+	if err != nil {
+		return experiments.Result{}, err
+	}
+	if len(results) != 1 || results[0].ID != id || results[0].Err != nil || results[0].Table == nil {
+		return experiments.Result{}, fmt.Errorf("unusable result payload")
+	}
+	c.revive(w)
+	return results[0], nil
+}
+
+// runLocal executes one experiment through the in-process engine,
+// bounded by the local-fallback concurrency (Options.Local.Jobs).
+func (c *Coordinator) runLocal(ctx context.Context, id string) (experiments.Result, error) {
+	select {
+	case c.localSem <- struct{}{}:
+	case <-ctx.Done():
+		return experiments.Result{ID: id, Err: ctx.Err()}, nil
+	}
+	defer func() { <-c.localSem }()
+	opts := c.local
+	opts.IDs = []string{id}
+	opts.Jobs = 1
+	results, err := experiments.Run(ctx, opts)
+	if err != nil {
+		return experiments.Result{}, err
+	}
+	c.localRuns.Add(1)
+	c.logf("shard: %s ran locally", id)
+	return results[0], nil
+}
+
+// Stats returns a snapshot of the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	st := Stats{
+		WorkersTotal: len(c.workers),
+		Remote:       c.remote.Load(),
+		Local:        c.localRuns.Load(),
+		Failovers:    c.failovers.Load(),
+	}
+	for _, w := range c.workers {
+		if w.healthy.Load() {
+			st.WorkersHealthy++
+		}
+	}
+	return st
+}
