@@ -1,7 +1,7 @@
 # Makefile — the commands CI runs are exactly the commands humans run.
 GO ?= go
 
-.PHONY: build test test-short bench bench-json lint figures
+.PHONY: build test test-short bench bench-json lint figures cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,19 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 	$(GO) vet ./...
+
+# cover reports internal/sched + internal/shard coverage — the two
+# packages the prefix-sharding protocol lives in. CI enforces a floor
+# on the combined total.
+cover:
+	$(GO) test -short -cover -coverprofile=cover.out ./internal/sched ./internal/shard
+	$(GO) tool cover -func=cover.out | tail -1
+
+# fuzz-smoke runs each fuzz target briefly: arbitrary bytes must never
+# panic the results decoder or the cache read path.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeJSON$$' -fuzztime=10s ./internal/experiments
+	$(GO) test -run='^$$' -fuzz='^FuzzCacheGet$$' -fuzztime=10s ./internal/cache
 
 figures:
 	$(GO) run ./cmd/figures

@@ -18,9 +18,14 @@
 // fans out across a figuresd fleet through the shard coordinator
 // (internal/shard) and the merged output is still byte-identical to a
 // local run — -jobs then governs only the local fallback, because
-// remote workers own their own concurrency. The process exits
-// non-zero when any experiment in the run fails, even though the
-// failed row is still encoded in the output.
+// remote workers own their own concurrency. Prefix-shardable
+// experiments (E2's exhaustive Algorithm 1 sweep) go further when at
+// least two workers are healthy: their own exploration space is
+// carved into schedule-prefix ranges split across the fleet and the
+// order-insensitive aggregates are merged, so a single theorem-scale
+// space finishes faster than any one box while emitting the same
+// bytes. The process exits non-zero when any experiment in the run
+// fails, even though the failed row is still encoded in the output.
 package main
 
 import (
@@ -214,5 +219,9 @@ func runSharded(fleet, ids []string, opts experiments.Options, stderr io.Writer,
 	st := coord.Stats()
 	fmt.Fprintf(stderr, "figures: shard %d/%d workers healthy, %d remote, %d local\n",
 		st.WorkersHealthy, st.WorkersTotal, st.Remote, st.Local)
+	if st.PrefixSharded > 0 {
+		fmt.Fprintf(stderr, "figures: shard %d prefix-sharded (%d ranges remote, %d local, %d reassigned)\n",
+			st.PrefixSharded, st.PrefixRangesRemote, st.PrefixRangesLocal, st.RangesReassigned)
+	}
 	return results, nil
 }

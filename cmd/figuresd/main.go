@@ -17,12 +17,16 @@
 //
 // Concurrent requests for the same cold experiment are deduplicated to
 // a single execution; with -cache-dir, results persist across restarts
-// and are shared with cmd/figures runs using the same directory. With
-// -peers, this daemon becomes the front door of a figuresd fleet:
-// experiment execution fans out to the peers through the shard
-// coordinator (internal/shard) and falls back to running locally when
-// the fleet cannot serve — the smoke path tests use to stand a fleet
-// up behind one address.
+// and are shared with cmd/figures runs using the same directory. The
+// daemon also serves prefix slices of shardable experiments
+// (GET /experiments/{id}?prefixes=..., the intra-experiment sharding
+// protocol of internal/shard), so any figuresd instance can compute
+// its share of a split exploration space. With -peers, this daemon
+// becomes the front door of a figuresd fleet: experiment execution
+// fans out to the peers through the shard coordinator — shardable
+// experiments are carved into prefix ranges across the fleet when at
+// least two peers are healthy — and falls back to running locally
+// when the fleet cannot serve.
 package main
 
 import (

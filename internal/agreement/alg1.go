@@ -216,6 +216,15 @@ func ExploreAlg1(k int, inputs [2]uint64, visit func(*Alg1Run)) (int, error) {
 // order, so it must aggregate order-insensitively. workers <= 0 means
 // sched.DefaultExploreWorkers.
 func ExploreAlg1Parallel(k int, inputs [2]uint64, workers int, visit func(*Alg1Run)) (int, error) {
+	return ExploreAlg1Prefixes(k, inputs, workers, [][]int{{}}, visit)
+}
+
+// ExploreAlg1Prefixes explores exactly the Algorithm 1 executions
+// extending the given schedule prefixes (sched.ExplorePrefixes): the
+// slice of the exploration space one shard of a distributed run owns.
+// Roots come from Alg1Roots; the union of visits over any partition of
+// those roots is exactly the ExploreAlg1 execution set.
+func ExploreAlg1Prefixes(k int, inputs [2]uint64, workers int, roots [][]int, visit func(*Alg1Run)) (int, error) {
 	factory := func() sched.Instance {
 		cur, procs := newAlg1Run(k, inputs)
 		return sched.Instance{
@@ -226,5 +235,16 @@ func ExploreAlg1Parallel(k int, inputs [2]uint64, workers int, visit func(*Alg1R
 			},
 		}
 	}
-	return sched.ExploreParallel(factory, 0, workers)
+	return sched.ExplorePrefixes(factory, 0, workers, roots)
+}
+
+// Alg1Roots enumerates the live schedule prefixes of the Algorithm 1
+// exploration at the given cut depth (sched.PartitionRoots): the
+// deterministic partition a coordinator carves into per-worker ranges.
+func Alg1Roots(k int, inputs [2]uint64, depth int) ([][]int, error) {
+	factory := func() []sched.ProcFunc {
+		_, procs := newAlg1Run(k, inputs)
+		return procs
+	}
+	return sched.PartitionRoots(factory, 0, depth)
 }

@@ -49,56 +49,21 @@ func Figure1Summary() (*Table, error) {
 
 // Figure2Executions (E2) enumerates Algorithm 1 with k = 4 and inputs
 // (0,1): the execution count, the decision range coverage, and the
-// worst co-final distance — Figure 2's structure.
+// worst co-final distance — Figure 2's structure. The table derives
+// from the same aggregate-and-finish path (shardable.go) a
+// prefix-sharded run merges through, so both emit identical bytes.
 func Figure2Executions() (*Table, error) {
-	k := 4
-	den := agreement.Alg1Den(k)
-	t := &Table{
-		ID:      "E2",
-		Title:   "Figure 2 / Prop 5.1 — Algorithm 1 executions, k=4, inputs (0,1)",
-		Headers: []string{"quantity", "value"},
-	}
-	execs := 0
-	seen := map[int]bool{}
-	worstNum := 0
-	maxSteps := 0
 	// Serial exploration: the engine already runs experiments
 	// concurrently, so the concurrency budget is spent one level up —
 	// this keeps -jobs 1 a true serial baseline and -jobs N free of
 	// nested worker pools. Standalone callers wanting the fan-out use
-	// agreement.ExploreAlg1Parallel directly.
-	_, err := agreement.ExploreAlg1(k, [2]uint64{0, 1}, func(ar *agreement.Alg1Run) {
-		execs++
-		for i := 0; i < 2; i++ {
-			seen[ar.Outs[i].Num] = true
-			if ar.Result.Steps[i] > maxSteps {
-				maxSteps = ar.Result.Steps[i]
-			}
-		}
-		d := ar.Outs[0].Num - ar.Outs[1].Num
-		if d < 0 {
-			d = -d
-		}
-		if d > worstNum {
-			worstNum = d
-		}
-	})
-	if err != nil {
+	// agreement.ExploreAlg1Parallel directly; sharded slices go
+	// through Shardables()["E2"].Explore.
+	col := newAlg1Collector()
+	if _, err := agreement.ExploreAlg1(e2K, e2Inputs, col.visit); err != nil {
 		return nil, err
 	}
-	t.Rows = append(t.Rows,
-		[]string{"interleavings", itoa(execs)},
-		[]string{"distinct decisions", itoa(len(seen))},
-		[]string{"decision range", fmt.Sprintf("0..%s by 1/%d", rat(den, den), den)},
-		[]string{"worst co-final distance", rat(worstNum, den)},
-		[]string{"max steps per process", fmt.Sprintf("%d (bound 2k+3 = %d)", maxSteps, agreement.Alg1MaxSteps(k))},
-	)
-	if worstNum > 1 {
-		t.Notes = append(t.Notes, "VIOLATION: co-final decisions exceed ε")
-	} else {
-		t.Notes = append(t.Notes, "all co-final decision pairs within ε = 1/(2k+1); full range covered")
-	}
-	return t, nil
+	return finishE2(col.agg())
 }
 
 // Theorem12Universal (E3) runs Algorithm 2 (3-bit registers) on solvable

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/agreement"
+)
+
+// This file is the partial-run seam: the contract that lets one
+// experiment's exhaustive exploration be split across machines. A
+// prefix-shardable experiment decomposes into an order-insensitive
+// Aggregate computed over any subset of its schedule-prefix partition
+// (sched.PartitionRoots); aggregates merge associatively and
+// commutatively, and Finish renders the merged aggregate into exactly
+// the table the whole-space Runner produces — so a sharded run
+// re-encodes byte-identically to a local one, the invariant
+// internal/shard's differential tests and CI pin.
+
+// Aggregate is an order-insensitive partial result of a shardable
+// experiment. Implementations are JSON-marshalable (the wire form the
+// ?prefixes= protocol carries) and must merge so that any grouping of
+// a partition's slices folds to the same value.
+type Aggregate interface {
+	// Merge folds another slice's aggregate (same concrete type) into
+	// the receiver.
+	Merge(other Aggregate) error
+}
+
+// Shardable describes one prefix-shardable experiment: how to carve
+// its exploration space, explore a slice of it, move an aggregate over
+// the wire, and render the merged whole.
+type Shardable struct {
+	// Roots enumerates the partition of the experiment's exploration
+	// space at its preferred cut depth, in deterministic order.
+	Roots func() ([][]int, error)
+	// Explore computes the aggregate over the subtrees under roots —
+	// the whole experiment when roots is the full partition (or the
+	// single empty prefix).
+	Explore func(roots [][]int) (Aggregate, error)
+	// Decode parses an aggregate from its JSON wire form.
+	Decode func(data []byte) (Aggregate, error)
+	// Finish renders the table from a fully-merged aggregate. It must
+	// equal the whole-space Runner's table when the aggregate covers
+	// the full partition.
+	Finish func(agg Aggregate) (*Table, error)
+}
+
+// Shardables returns the prefix-shardable experiments by id — the
+// subset of Registry() whose exploration spaces split across a fleet.
+// internal/server serves their slices (GET /experiments/{id}?prefixes=)
+// and internal/shard carves, distributes, and merges them.
+func Shardables() map[string]Shardable {
+	return map[string]Shardable{
+		"E2": e2Shardable(),
+	}
+}
+
+// ShardablesFor returns the default shardable set for a registry
+// choice: the full Shardables() when reg is nil (the real registry),
+// and nothing otherwise — a shardable's Explore runs the real
+// experiment's code, so a registry override (tests, subset
+// deployments) must opt in explicitly rather than silently serving
+// slices of experiments it replaced.
+func ShardablesFor(reg map[string]Runner) map[string]Shardable {
+	if reg == nil {
+		return Shardables()
+	}
+	return map[string]Shardable{}
+}
+
+// FormatPrefixes renders a root set as the ?prefixes= parameter value:
+// pids dot-separated within a root, roots comma-separated, the empty
+// root (the whole tree) spelled "-". The inverse of ParsePrefixes.
+func FormatPrefixes(roots [][]int) string {
+	parts := make([]string, len(roots))
+	for i, root := range roots {
+		if len(root) == 0 {
+			parts[i] = "-"
+			continue
+		}
+		pids := make([]string, len(root))
+		for j, pid := range root {
+			pids[j] = strconv.Itoa(pid)
+		}
+		parts[i] = strings.Join(pids, ".")
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePrefixes parses a ?prefixes= parameter value into a root set.
+// The empty string is rejected: a caller that wants the whole space
+// omits the parameter (or sends "-", the explicit empty prefix).
+// Overlapping roots — duplicates, or one root a prefix of another —
+// are rejected too: their subtrees would double-count executions, and
+// a confidently wrong aggregate served with a 200 is exactly the
+// silent corruption this protocol exists to prevent.
+func ParsePrefixes(s string) ([][]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("experiments: empty prefixes parameter")
+	}
+	parts := strings.Split(s, ",")
+	roots := make([][]int, len(parts))
+	for i, part := range parts {
+		if part == "-" {
+			roots[i] = []int{}
+			continue
+		}
+		if part == "" {
+			return nil, fmt.Errorf("experiments: empty prefix in %q", s)
+		}
+		pids := strings.Split(part, ".")
+		root := make([]int, len(pids))
+		for j, p := range pids {
+			pid, err := strconv.Atoi(p)
+			if err != nil || pid < 0 {
+				return nil, fmt.Errorf("experiments: bad pid %q in prefixes %q", p, s)
+			}
+			root[j] = pid
+		}
+		roots[i] = root
+	}
+	for i := range roots {
+		for j := i + 1; j < len(roots); j++ {
+			if isIntPrefix(roots[i], roots[j]) || isIntPrefix(roots[j], roots[i]) {
+				return nil, fmt.Errorf("experiments: overlapping prefixes %q and %q in %q", parts[i], parts[j], s)
+			}
+		}
+	}
+	return roots, nil
+}
+
+// isIntPrefix reports whether a is a (non-strict) prefix of b.
+func isIntPrefix(a, b []int) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardEnvelope is the wire form of one slice's aggregate: the body of
+// a GET /experiments/{id}?prefixes=... response. RegistryVersion lets
+// a coordinator detect a fleet running a different experiment
+// generation before trusting its numbers, and Prefixes echoes the
+// slice so a response cannot be silently credited to the wrong range.
+type ShardEnvelope struct {
+	ID              string          `json:"id"`
+	RegistryVersion string          `json:"registry_version"`
+	Prefixes        string          `json:"prefixes"`
+	Aggregate       json.RawMessage `json:"aggregate"`
+}
+
+// EncodeShard writes the wire form of one slice's aggregate.
+func EncodeShard(w io.Writer, id string, roots [][]int, agg Aggregate) error {
+	raw, err := json.Marshal(agg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ShardEnvelope{
+		ID:              id,
+		RegistryVersion: RegistryVersion,
+		Prefixes:        FormatPrefixes(roots),
+		Aggregate:       raw,
+	})
+}
+
+// DecodeShard reads one slice's wire envelope back. The aggregate
+// stays raw: the caller resolves the experiment's Shardable.Decode.
+func DecodeShard(r io.Reader) (ShardEnvelope, error) {
+	var env ShardEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return env, fmt.Errorf("experiments: decoding shard envelope: %w", err)
+	}
+	if env.ID == "" || len(env.Aggregate) == 0 {
+		return env, fmt.Errorf("experiments: shard envelope missing id or aggregate")
+	}
+	return env, nil
+}
+
+// --- E2: the Algorithm 1 exhaustive sweep, in partial-run form ---
+
+// e2K and e2Inputs pin Figure 2's instance: Algorithm 1 with k = 4 on
+// inputs (0, 1). e2ShardDepth is the partition cut — depth 5 carves
+// the ~22k-execution tree into ~2^5 ranges, fine-grained enough to
+// balance a small fleet, coarse enough that carving costs almost
+// nothing.
+const (
+	e2K          = 4
+	e2ShardDepth = 5
+)
+
+var e2Inputs = [2]uint64{0, 1}
+
+// alg1SweepAgg is the order-insensitive aggregate of an exhaustive
+// Algorithm 1 exploration — everything E2's table derives from. Seen
+// is kept sorted; Merge is a union/sum/max fold, so slices combine in
+// any grouping to the same value.
+type alg1SweepAgg struct {
+	Execs    int   `json:"execs"`
+	Seen     []int `json:"seen"`
+	WorstNum int   `json:"worst_num"`
+	MaxSteps int   `json:"max_steps"`
+}
+
+// Merge implements Aggregate.
+func (a *alg1SweepAgg) Merge(other Aggregate) error {
+	b, ok := other.(*alg1SweepAgg)
+	if !ok {
+		return fmt.Errorf("experiments: cannot merge %T into %T", other, a)
+	}
+	a.Execs += b.Execs
+	a.Seen = unionSorted(a.Seen, b.Seen)
+	if b.WorstNum > a.WorstNum {
+		a.WorstNum = b.WorstNum
+	}
+	if b.MaxSteps > a.MaxSteps {
+		a.MaxSteps = b.MaxSteps
+	}
+	return nil
+}
+
+// unionSorted merges two sorted distinct-int slices into one.
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// alg1Collector accumulates an alg1SweepAgg from explorer visits. The
+// visit method is called under the explorer's lock (or serially), so
+// no further synchronization is needed.
+type alg1Collector struct {
+	execs    int
+	seen     map[int]bool
+	worstNum int
+	maxSteps int
+}
+
+func newAlg1Collector() *alg1Collector {
+	return &alg1Collector{seen: make(map[int]bool)}
+}
+
+func (c *alg1Collector) visit(ar *agreement.Alg1Run) {
+	c.execs++
+	for i := 0; i < 2; i++ {
+		c.seen[ar.Outs[i].Num] = true
+		if ar.Result.Steps[i] > c.maxSteps {
+			c.maxSteps = ar.Result.Steps[i]
+		}
+	}
+	d := ar.Outs[0].Num - ar.Outs[1].Num
+	if d < 0 {
+		d = -d
+	}
+	if d > c.worstNum {
+		c.worstNum = d
+	}
+}
+
+func (c *alg1Collector) agg() *alg1SweepAgg {
+	seen := make([]int, 0, len(c.seen))
+	for n := range c.seen {
+		seen = append(seen, n)
+	}
+	sort.Ints(seen)
+	return &alg1SweepAgg{Execs: c.execs, Seen: seen, WorstNum: c.worstNum, MaxSteps: c.maxSteps}
+}
+
+// finishE2 renders Figure 2's table from a fully-merged aggregate —
+// the one rendering path shared by the local runner and the sharded
+// merge, which is what makes their bytes identical.
+func finishE2(a *alg1SweepAgg) (*Table, error) {
+	den := agreement.Alg1Den(e2K)
+	t := &Table{
+		ID:      "E2",
+		Title:   "Figure 2 / Prop 5.1 — Algorithm 1 executions, k=4, inputs (0,1)",
+		Headers: []string{"quantity", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"interleavings", itoa(a.Execs)},
+		[]string{"distinct decisions", itoa(len(a.Seen))},
+		[]string{"decision range", fmt.Sprintf("0..%s by 1/%d", rat(den, den), den)},
+		[]string{"worst co-final distance", rat(a.WorstNum, den)},
+		[]string{"max steps per process", fmt.Sprintf("%d (bound 2k+3 = %d)", a.MaxSteps, agreement.Alg1MaxSteps(e2K))},
+	)
+	if a.WorstNum > 1 {
+		t.Notes = append(t.Notes, "VIOLATION: co-final decisions exceed ε")
+	} else {
+		t.Notes = append(t.Notes, "all co-final decision pairs within ε = 1/(2k+1); full range covered")
+	}
+	return t, nil
+}
+
+// e2Shardable is E2's partial-run form. Explore fans out in-process
+// (the slice is this worker's whole job, so the concurrency budget is
+// spent here, unlike the engine-driven serial runner).
+func e2Shardable() Shardable {
+	return Shardable{
+		Roots: func() ([][]int, error) {
+			return agreement.Alg1Roots(e2K, e2Inputs, e2ShardDepth)
+		},
+		Explore: func(roots [][]int) (Aggregate, error) {
+			col := newAlg1Collector()
+			if _, err := agreement.ExploreAlg1Prefixes(e2K, e2Inputs, 0, roots, col.visit); err != nil {
+				return nil, err
+			}
+			return col.agg(), nil
+		},
+		Decode: func(data []byte) (Aggregate, error) {
+			var a alg1SweepAgg
+			if err := json.Unmarshal(data, &a); err != nil {
+				return nil, fmt.Errorf("experiments: decoding E2 aggregate: %w", err)
+			}
+			// Merge's union depends on Seen being sorted and distinct,
+			// and the counters being non-negative; a payload violating
+			// either would corrupt the merged table silently, so it is
+			// rejected like any other unusable response.
+			if a.Execs < 0 || a.WorstNum < 0 || a.MaxSteps < 0 {
+				return nil, fmt.Errorf("experiments: E2 aggregate with negative counters")
+			}
+			for i := 1; i < len(a.Seen); i++ {
+				if a.Seen[i] <= a.Seen[i-1] {
+					return nil, fmt.Errorf("experiments: E2 aggregate seen set not sorted and distinct")
+				}
+			}
+			return &a, nil
+		},
+		Finish: func(agg Aggregate) (*Table, error) {
+			a, ok := agg.(*alg1SweepAgg)
+			if !ok {
+				return nil, fmt.Errorf("experiments: E2 finish on %T", agg)
+			}
+			return finishE2(a)
+		},
+	}
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -47,6 +48,13 @@ func Explore(factory func() []ProcFunc, maxSteps, maxRuns int, visit func(*Resul
 
 // ErrExploreLimit reports that Explore hit its maxRuns bound.
 var ErrExploreLimit = fmt.Errorf("sched: exploration run limit reached")
+
+// ErrPrefixNotLive reports that a forced prefix handed to
+// ExplorePrefixes is not a live path of the system's decision tree —
+// some forced pid was not enabled at its turn, so Replay substituted
+// another process and the run left the claimed subtree. Serving such
+// a run would double-count executions, so it is an error instead.
+var ErrPrefixNotLive = errors.New("sched: forced prefix is not a live path of the decision tree")
 
 // expandBranches enumerates the child prefixes of a completed execution:
 // one per scheduler branch not taken after the forced prefix, deepest
@@ -111,6 +119,29 @@ func DefaultExploreWorkers() int { return runtime.GOMAXPROCS(0) }
 // error; visits already made are not undone. workers <= 0 means
 // DefaultExploreWorkers.
 func ExploreParallel(factory func() Instance, maxSteps, workers int) (int, error) {
+	return ExplorePrefixes(factory, maxSteps, workers, [][]int{{}})
+}
+
+// ExplorePrefixes is ExploreParallel restricted to the subtrees under
+// the given forced prefixes: it visits exactly the executions whose
+// scheduler-decision sequence extends one of roots. With the single
+// empty prefix it is ExploreParallel; with a PartitionRoots partition
+// split across calls (or machines), the union of all visits is exactly
+// the ExploreAll execution set, each execution visited once — the
+// property the distributed sharding layers are built on.
+//
+// Roots must be live prefixes of the system's decision tree, none a
+// strict prefix of another — exactly what PartitionRoots returns (any
+// subset or regrouping of one partition qualifies). A root the
+// scheduler cannot follow (a forced pid not enabled at its turn)
+// fails the exploration with ErrPrefixNotLive rather than silently
+// exploring a different subtree; overlap between roots remains the
+// caller's contract. An empty roots slice explores nothing and
+// returns 0.
+func ExplorePrefixes(factory func() Instance, maxSteps, workers int, roots [][]int) (int, error) {
+	if len(roots) == 0 {
+		return 0, nil
+	}
 	if workers <= 0 {
 		workers = DefaultExploreWorkers()
 	}
@@ -123,8 +154,8 @@ func ExploreParallel(factory func() Instance, maxSteps, workers int) (int, error
 		runs     int
 		firstErr error
 	)
-	frontier = append(frontier, []int{})
-	pending = 1
+	frontier = append(frontier, roots...)
+	pending = len(frontier)
 
 	worker := func() {
 		for {
@@ -142,6 +173,13 @@ func ExploreParallel(factory func() Instance, maxSteps, workers int) (int, error
 
 			inst := factory()
 			res, err := Run(Config{Scheduler: &Replay{Prefix: prefix}, MaxSteps: maxSteps}, inst.Procs)
+			if err == nil && !replayedExactly(res, prefix) {
+				// Only seed roots can fail this: child prefixes are
+				// observed paths of the deterministic system. A seed
+				// that Replay could not follow is a caller mistake
+				// (or a hostile ?prefixes= request upstream).
+				err = fmt.Errorf("%w: %v", ErrPrefixNotLive, prefix)
+			}
 
 			mu.Lock()
 			if err != nil {
@@ -178,4 +216,74 @@ func ExploreParallel(factory func() Instance, maxSteps, workers int) (int, error
 	}
 	wg.Wait()
 	return runs, firstErr
+}
+
+// replayedExactly reports whether an execution actually took every
+// step of its forced prefix — the witness that the prefix is a live
+// path and the run stayed inside the claimed subtree.
+func replayedExactly(res *Result, prefix []int) bool {
+	if len(res.Decisions) < len(prefix) {
+		return false
+	}
+	for i, pid := range prefix {
+		if res.Decisions[i].Pid != pid {
+			return false
+		}
+	}
+	return true
+}
+
+// PartitionRoots enumerates the live prefixes of the decision tree at
+// the given cut depth: every prefix of exactly depth scheduler choices
+// that some execution realizes, plus the full decision sequence of any
+// execution that terminates in fewer than depth choices. The returned
+// roots are pairwise prefix-free and their subtrees partition the
+// ExploreAll execution set, so a coordinator can carve them into
+// disjoint ranges, hand each range to ExplorePrefixes on a different
+// worker, and know the union of visits is the whole space.
+//
+// Roots are returned in deterministic DFS order (enabled sets are
+// sorted), so every caller carves the same tree identically. depth <=
+// 0 returns the single empty prefix (the whole tree as one range); a
+// depth beyond the tree height returns one root per execution. The
+// cost is one replay run per interior node above the cut — for a
+// shallow cut, a vanishing fraction of the exploration it partitions.
+func PartitionRoots(factory func() []ProcFunc, maxSteps, depth int) ([][]int, error) {
+	if depth <= 0 {
+		return [][]int{{}}, nil
+	}
+	var roots [][]int
+	var descend func(prefix []int, res *Result) error
+	descend = func(prefix []int, res *Result) error {
+		if len(prefix) >= depth || len(res.Decisions) <= len(prefix) {
+			// At the cut, or the execution ends here: this prefix's
+			// subtree is one partition cell.
+			roots = append(roots, prefix)
+			return nil
+		}
+		for _, pid := range res.EnabledSets[len(prefix)] {
+			child := append(prefix[:len(prefix):len(prefix)], pid)
+			cres := res
+			if pid != res.Decisions[len(prefix)].Pid {
+				// Off the observed path: replay the sibling branch.
+				r, err := Run(Config{Scheduler: &Replay{Prefix: child}, MaxSteps: maxSteps}, factory())
+				if err != nil {
+					return err
+				}
+				cres = r
+			}
+			if err := descend(child, cres); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	res, err := Run(Config{Scheduler: &Replay{}, MaxSteps: maxSteps}, factory())
+	if err != nil {
+		return nil, err
+	}
+	if err := descend(nil, res); err != nil {
+		return nil, err
+	}
+	return roots, nil
 }

@@ -32,12 +32,20 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sched"
 )
 
 // DefaultTimeout bounds one experiment execution when Options.Timeout
 // is zero — generous because the exhaustive explorations are the slow
 // tail, and a timeout that fires mid-exploration wastes the work.
 const DefaultTimeout = 2 * time.Minute
+
+// RegistryVersionHeader carries experiments.RegistryVersion on every
+// experiment and slice response, so a shard coordinator can refuse to
+// merge bytes from a worker serving a different experiment generation
+// (the /stats and /experiments bodies expose it too, but the header
+// travels with the very response being merged).
+const RegistryVersionHeader = "Repro-Registry-Version"
 
 // Options configures New. The zero value serves the real registry
 // with no cache and DefaultTimeout.
@@ -57,8 +65,18 @@ type Options struct {
 	// result comes from the backend — cmd/figuresd -peers wires a
 	// shard coordinator in here so one daemon fronts a fleet. A
 	// backend owns its own caching; Options.Cache is not consulted
-	// around it.
+	// around it. Prefix-slice requests (?prefixes=) never go through
+	// the backend: a slice is this worker's own share of a space
+	// someone upstream already carved, so re-delegating it would
+	// bounce work around the fleet instead of doing it.
 	Backend func(ctx context.Context, id string) (experiments.Result, error)
+	// Shardables maps prefix-shardable experiment ids to their
+	// partial-run seams, enabling GET /experiments/{id}?prefixes=...
+	// (one slice of one experiment's exploration space). nil means the
+	// default experiments.Shardables() when Registry is nil, and none
+	// otherwise — an override's ids are not the real experiments, so
+	// it opts in explicitly.
+	Shardables map[string]experiments.Shardable
 	// Logf receives one line per request; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -67,17 +85,22 @@ type Options struct {
 //
 //	GET /experiments                         the experiment index (JSON)
 //	GET /experiments/{id}?format=text|json|csv   one experiment's table
+//	GET /experiments/{id}?prefixes=...       one slice of a shardable
+//	                                         experiment's space (JSON
+//	                                         shard envelope)
 //	GET /healthz                             liveness probe
 //	GET /stats                               operational counters (JSON)
 type Server struct {
-	reg     map[string]experiments.Runner
-	ids     []string
-	cache   experiments.Cache
-	timeout time.Duration
-	backend func(ctx context.Context, id string) (experiments.Result, error)
-	logf    func(format string, args ...any)
-	flights flightGroup
-	mux     *http.ServeMux
+	reg        map[string]experiments.Runner
+	ids        []string
+	cache      experiments.Cache
+	timeout    time.Duration
+	backend    func(ctx context.Context, id string) (experiments.Result, error)
+	shardables map[string]experiments.Shardable
+	exploreSem chan struct{}
+	logf       func(format string, args ...any)
+	flights    flightGroup
+	mux        *http.ServeMux
 
 	mu        sync.Mutex
 	cooldowns map[string]cooldownEntry
@@ -107,16 +130,22 @@ func New(opts Options) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	shardables := opts.Shardables
+	if shardables == nil {
+		shardables = experiments.ShardablesFor(opts.Registry)
+	}
 	s := &Server{
-		reg:       reg,
-		ids:       ids,
-		cache:     opts.Cache,
-		timeout:   timeout,
-		backend:   opts.Backend,
-		logf:      logf,
-		mux:       http.NewServeMux(),
-		cooldowns: make(map[string]cooldownEntry),
-		perExp:    make(map[string]*expStat),
+		reg:        reg,
+		ids:        ids,
+		cache:      opts.Cache,
+		timeout:    timeout,
+		backend:    opts.Backend,
+		shardables: shardables,
+		exploreSem: make(chan struct{}, sliceExploreSlots),
+		logf:       logf,
+		mux:        http.NewServeMux(),
+		cooldowns:  make(map[string]cooldownEntry),
+		perExp:     make(map[string]*expStat),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /experiments", s.handleIndex)
@@ -165,6 +194,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
 		return
 	}
+	if prefixes := r.URL.Query().Get("prefixes"); prefixes != "" {
+		s.handlePrefixes(w, r, id, prefixes, start)
+		return
+	}
 	format := r.URL.Query().Get("format")
 	if format == "" {
 		format = "text"
@@ -200,10 +233,126 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusInternalServerError
 	}
 	w.Header().Set("Content-Type", contentTypes[format])
+	w.Header().Set(RegistryVersionHeader, experiments.RegistryVersion)
 	w.WriteHeader(status)
 	w.Write(body.Bytes())
 	s.logf("figuresd: GET %s format=%s status=%d cached=%v shared=%v in %v",
 		r.URL.Path, format, status, res.Cached, shared, time.Since(start).Round(time.Millisecond))
+}
+
+// handlePrefixes serves one slice of a shardable experiment's
+// exploration space: GET /experiments/{id}?prefixes=... parses the
+// forced-prefix ranges, explores exactly those subtrees, and responds
+// with the JSON shard envelope (experiments.EncodeShard). Identical
+// slice requests share one execution through the singleflight group,
+// and a timed-out slice starts the same cooldown as a timed-out
+// experiment: a coordinator retry (and any future run of the same
+// experiment) re-sends the byte-identical prefixes string, and
+// without the cooldown each retry would stack another abandoned
+// full-width explorer pool on the worker.
+func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, prefixes string, start time.Time) {
+	if format := r.URL.Query().Get("format"); format != "" && format != "json" {
+		http.Error(w, fmt.Sprintf("prefix slices are JSON only, not %q", format), http.StatusBadRequest)
+		return
+	}
+	sh, ok := s.shardables[id]
+	if !ok {
+		http.Error(w, fmt.Sprintf("experiment %q is not prefix-shardable", id), http.StatusBadRequest)
+		return
+	}
+	roots, err := experiments.ParsePrefixes(prefixes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	key := id + "\x00" + prefixes
+	var val any
+	var shared bool
+	if res, cooling := s.coolingDown(key); cooling {
+		err, shared = res.Err, true
+	} else {
+		val, err, shared = s.flights.Do(key, func() (any, error) {
+			return s.exploreSlice(sh, roots)
+		})
+		if err != nil && !shared && errors.Is(err, context.DeadlineExceeded) {
+			s.startCooldown(key, experiments.Result{Err: err})
+		}
+	}
+	s.inFlight.Add(-1)
+	s.record(id, time.Since(start), err != nil)
+	if err != nil {
+		// A prefix the scheduler cannot follow is the client's
+		// mistake, not the server's: ParsePrefixes can only check
+		// syntax and overlap, liveness is known after the replay.
+		status := http.StatusInternalServerError
+		if errors.Is(err, sched.ErrPrefixNotLive) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	var body bytes.Buffer
+	if err := experiments.EncodeShard(&body, id, roots, val.(experiments.Aggregate)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(RegistryVersionHeader, experiments.RegistryVersion)
+	w.Write(body.Bytes())
+	s.logf("figuresd: GET %s prefixes=%s roots=%d shared=%v in %v",
+		r.URL.Path, prefixes, len(roots), shared, time.Since(start).Round(time.Millisecond))
+}
+
+// sliceExploreSlots bounds concurrent slice explorations per server.
+// Each Explore fans out across every core, so unbounded concurrent
+// slices would stack full-width explorer pools; two slots match the
+// coordinator's ~two-ranges-per-worker carve (its normal load runs
+// uncontended), and anything beyond queues into the timeout window —
+// backpressure the coordinator answers by failing over to a
+// less-loaded worker.
+const sliceExploreSlots = 2
+
+// exploreSlice runs one Shardable.Explore under the per-execution
+// timeout, holding one of the server's exploration slots (queue time
+// counts toward the timeout). Like the engine's runners, an
+// exploration takes no context: on timeout its goroutine is abandoned
+// until it returns.
+func (s *Server) exploreSlice(sh experiments.Shardable, roots [][]int) (experiments.Aggregate, error) {
+	type outcome struct {
+		agg experiments.Aggregate
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				ch <- outcome{err: fmt.Errorf("slice exploration panicked: %v", rec)}
+			}
+		}()
+		s.exploreSem <- struct{}{}
+		defer func() { <-s.exploreSem }()
+		agg, err := sh.Explore(roots)
+		if err == nil && agg == nil {
+			err = fmt.Errorf("slice exploration returned no aggregate")
+		}
+		ch <- outcome{agg: agg, err: err}
+	}()
+	var timer <-chan time.Time
+	if s.timeout > 0 {
+		t := time.NewTimer(s.timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case o := <-ch:
+		return o.agg, o.err
+	case <-timer:
+		return nil, fmt.Errorf("slice timed out after %v: %w", s.timeout, context.DeadlineExceeded)
+	}
 }
 
 // execute runs one experiment through the singleflight group. The
@@ -268,8 +417,9 @@ type cooldownEntry struct {
 	res   experiments.Result
 }
 
-// coolingDown reports whether id recently timed out, returning the
-// recorded failure to serve instead of executing again.
+// coolingDown reports whether key — an experiment id, or a slice's
+// id+prefixes flight key — recently timed out, returning the recorded
+// failure to serve instead of executing again.
 func (s *Server) coolingDown(id string) (experiments.Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

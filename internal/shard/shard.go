@@ -38,6 +38,16 @@
 // a worker reports them as HTTP 500, the coordinator fails over and
 // finally re-runs locally, producing the same failed Result (and the
 // same encoded bytes) a local run would have.
+//
+// Prefix-shardable experiments (experiments.Shardables) go further:
+// instead of fetching the whole experiment from one worker, the
+// coordinator carves the experiment's own exploration space into
+// disjoint schedule-prefix ranges (sched.PartitionRoots), fans the
+// ranges out with GET /experiments/{id}?prefixes=..., and merges the
+// order-insensitive aggregates — so the fleet splits a single
+// theorem-scale space and still emits byte-identical tables. Ranges
+// inherit the failover rules above; a range whose attempts exhaust
+// the fleet is explored locally, reassigned but never dropped.
 package shard
 
 import (
@@ -114,6 +124,19 @@ type Options struct {
 	// concurrently). IDs is ignored — the coordinator fills it per
 	// experiment.
 	Local experiments.Options
+	// Shardables maps prefix-shardable experiment ids to their
+	// partial-run seams: with at least two selectable workers, these
+	// experiments are carved into prefix ranges and split across the
+	// fleet instead of fetched whole. nil means the default
+	// experiments.Shardables() when Local.Registry is nil, and none
+	// otherwise — an override's ids are not the real experiments, so
+	// it opts in explicitly. An explicit empty map disables prefix
+	// sharding.
+	Shardables map[string]experiments.Shardable
+	// Now injects the coordinator's clock (eviction revival, baseline
+	// expiry); nil means time.Now. Tests use it to advance time
+	// without sleeping.
+	Now func() time.Time
 	// Logf receives one line per notable event (unreachable worker,
 	// failover, fallback); nil means silent.
 	Logf func(format string, args ...any)
@@ -124,12 +147,25 @@ type Stats struct {
 	// WorkersTotal and WorkersHealthy describe the fleet now — a
 	// worker that died mid-batch has already left WorkersHealthy.
 	WorkersTotal, WorkersHealthy int
-	// Remote counts experiments served by the fleet, Local those that
-	// fell back to the in-process engine.
+	// Remote counts experiments served whole by the fleet, Local those
+	// that fell back whole to the in-process engine. Prefix-sharded
+	// experiments are counted by PrefixSharded instead.
 	Remote, Local int64
-	// Failovers counts failed attempts that moved an experiment to
-	// another worker (or, when none remained, to the local fallback).
+	// Failovers counts failed attempts — whole experiments or prefix
+	// ranges — that moved work to another worker (or, when none
+	// remained, to the local fallback).
 	Failovers int64
+	// PrefixSharded counts experiments whose exploration space was
+	// split across the fleet as prefix ranges.
+	PrefixSharded int64
+	// PrefixRangesRemote and PrefixRangesLocal count the ranges of
+	// prefix-sharded experiments served by workers and explored
+	// locally (fleet exhausted for that range).
+	PrefixRangesRemote, PrefixRangesLocal int64
+	// RangesReassigned counts prefix-range attempts that failed on one
+	// worker and were reassigned — the "never dropped" half of the
+	// failover contract.
+	RangesReassigned int64
 }
 
 // worker is one fleet member and its load accounting.
@@ -179,12 +215,19 @@ type Coordinator struct {
 	reviveAfter time.Duration
 	local       experiments.Options
 	localSem    chan struct{}
+	exploreSem  chan struct{}
+	shardables  map[string]experiments.Shardable
+	now         func() time.Time
 	logf        func(format string, args ...any)
 
-	pickMu    sync.Mutex
-	remote    atomic.Int64
-	localRuns atomic.Int64
-	failovers atomic.Int64
+	pickMu           sync.Mutex
+	remote           atomic.Int64
+	localRuns        atomic.Int64
+	failovers        atomic.Int64
+	prefixSharded    atomic.Int64
+	prefixRemote     atomic.Int64
+	prefixLocal      atomic.Int64
+	rangesReassigned atomic.Int64
 }
 
 // New builds a coordinator over the given fleet and probes every
@@ -227,6 +270,14 @@ func New(opts Options) (*Coordinator, error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
+	shardables := opts.Shardables
+	if shardables == nil {
+		shardables = experiments.ShardablesFor(opts.Local.Registry)
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
 	c := &Coordinator{
 		client:      client,
 		reqTimeout:  reqTimeout,
@@ -234,6 +285,9 @@ func New(opts Options) (*Coordinator, error) {
 		reviveAfter: reviveAfter,
 		local:       opts.Local,
 		localSem:    make(chan struct{}, jobs),
+		exploreSem:  make(chan struct{}, 1),
+		shardables:  shardables,
+		now:         now,
 		logf:        logf,
 	}
 	for _, addr := range opts.Workers {
@@ -308,8 +362,17 @@ func (c *Coordinator) probe(w *worker, timeout time.Duration) {
 	}
 	w.healthy.Store(true)
 	if st, err := c.scrapeStats(ctx, w); err == nil {
+		// A worker serving a different experiment generation would
+		// answer every fetch with bytes from the wrong registry;
+		// start it evicted (the per-response header check guards the
+		// revival path).
+		if st.RegistryVersion != "" && st.RegistryVersion != experiments.RegistryVersion {
+			c.logf("shard: worker %s serves registry %s, want %s", w.base, st.RegistryVersion, experiments.RegistryVersion)
+			c.evict(w)
+			return
+		}
 		w.baseline = st.InFlight
-		w.baselineUntil = time.Now().Add(baselineTTL)
+		w.baselineUntil = c.now().Add(baselineTTL)
 	}
 }
 
@@ -317,7 +380,7 @@ func (c *Coordinator) probe(w *worker, timeout time.Duration) {
 // request may try it again.
 func (c *Coordinator) evict(w *worker) {
 	w.healthy.Store(false)
-	w.retryAt.Store(time.Now().Add(c.reviveAfter).UnixNano())
+	w.retryAt.Store(c.now().Add(c.reviveAfter).UnixNano())
 }
 
 // revive returns w to full rotation after a successful request.
@@ -395,9 +458,36 @@ func (c *Coordinator) RunOne(ctx context.Context, id string) (experiments.Result
 	return c.runOne(ctx, id)
 }
 
-// runOne tries up to c.retries distinct workers, least-loaded first,
-// then falls back to the local engine.
+// runOne executes one experiment: prefix-sharded across the fleet
+// when the experiment is shardable and enough workers can take a
+// range, otherwise fetched whole with per-worker failover, finally
+// falling back to the local engine. Prefix slices bypass every
+// content-addressed store (their identity is id + prefix set, not
+// id), so the coordinator's own cache is consulted before carving —
+// a warm whole result must stay a microsecond hit, not become a
+// fleet-wide recompute — and a sharded success is stored back.
 func (c *Coordinator) runOne(ctx context.Context, id string) (experiments.Result, error) {
+	if sh, ok := c.shardables[id]; ok {
+		if cache := c.local.Cache; cache != nil {
+			if res, ok := cache.Get(id); ok && res.Err == nil && res.Table != nil {
+				res.ID = id
+				res.Cached = true
+				return res, nil
+			}
+		}
+		if res, done := c.runPrefixSharded(ctx, id, sh); done {
+			if c.local.Cache != nil && res.Err == nil {
+				c.local.Cache.Put(id, res) // best-effort, like the engine
+			}
+			return res, nil
+		}
+	}
+	return c.runWhole(ctx, id)
+}
+
+// runWhole tries up to c.retries distinct workers, least-loaded first,
+// then falls back to the local engine.
+func (c *Coordinator) runWhole(ctx context.Context, id string) (experiments.Result, error) {
 	tried := make(map[*worker]bool)
 	for attempt := 0; attempt < c.retries; attempt++ {
 		w := c.pick(tried)
@@ -420,13 +510,181 @@ func (c *Coordinator) runOne(ctx context.Context, id string) (experiments.Result
 	return c.runLocal(ctx, id)
 }
 
+// minShardWorkers is the fleet size below which prefix sharding is
+// not worth carving: with fewer than two selectable workers there is
+// no intra-experiment parallelism to win, and a whole fetch keeps the
+// worker's content-addressed cache in play.
+const minShardWorkers = 2
+
+// runPrefixSharded splits one shardable experiment's exploration
+// space across the fleet: carve the deterministic partition into
+// contiguous ranges (about two per selectable worker, so a slow
+// worker's second helping flows to its peers), fetch every range
+// concurrently with the same least-loaded selection and failover
+// rules as whole experiments, merge the order-insensitive aggregates
+// in range order, and render the table. A range whose attempts
+// exhaust the fleet is explored locally — reassigned, never dropped —
+// so the merged table is byte-identical to a local run no matter
+// which workers died along the way. done reports whether the
+// experiment was handled here; carving problems (partition failure,
+// too few workers) fall back to the whole-experiment path.
+func (c *Coordinator) runPrefixSharded(ctx context.Context, id string, sh experiments.Shardable) (experiments.Result, bool) {
+	start := c.now()
+	if c.selectableCount() < minShardWorkers {
+		return experiments.Result{}, false
+	}
+	roots, err := sh.Roots()
+	if err != nil || len(roots) == 0 {
+		c.logf("shard: %s: partition failed (%v); fetching whole", id, err)
+		return experiments.Result{}, false
+	}
+	ranges := splitRanges(roots, 2*c.selectableCount())
+	// Counted at the carve, not at success: the range counters below
+	// move for this experiment either way, and the stats must agree
+	// that its space was split even if a range later fails.
+	c.prefixSharded.Add(1)
+	aggs := make([]experiments.Aggregate, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i := range ranges {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			aggs[i], errs[i] = c.runRange(ctx, id, sh, ranges[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// A range that cannot be computed anywhere (local explore
+			// failed, or the run was cancelled) fails the experiment:
+			// merging a partial space would silently corrupt the
+			// theorem-level counts the table reports.
+			return experiments.Result{ID: id, Err: err, Duration: c.now().Sub(start)}, true
+		}
+	}
+	merged := aggs[0]
+	for _, agg := range aggs[1:] {
+		if err := merged.Merge(agg); err != nil {
+			return experiments.Result{ID: id, Err: err, Duration: c.now().Sub(start)}, true
+		}
+	}
+	tab, err := sh.Finish(merged)
+	if err != nil {
+		return experiments.Result{ID: id, Err: err, Duration: c.now().Sub(start)}, true
+	}
+	return experiments.Result{ID: id, Table: tab, Duration: c.now().Sub(start)}, true
+}
+
+// selectableCount reports how many workers may currently receive a
+// request (healthy, or due a revival probe).
+func (c *Coordinator) selectableCount() int {
+	now := c.now()
+	n := 0
+	for _, w := range c.workers {
+		if w.selectable(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// splitRanges carves roots into at most n contiguous, near-even,
+// non-empty ranges, preserving order so every coordinator carves the
+// same partition into the same ranges.
+func splitRanges(roots [][]int, n int) [][][]int {
+	if n > len(roots) {
+		n = len(roots)
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([][][]int, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(roots)/n, (i+1)*len(roots)/n
+		out = append(out, roots[lo:hi])
+	}
+	return out
+}
+
+// runRange computes one prefix range's aggregate: up to c.retries
+// distinct workers with the whole-experiment failover rules (a
+// transport error evicts, an HTTP error only fails the attempt), then
+// the local explorer. Every failed attempt reassigns the range — it
+// is never dropped.
+func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Shardable, roots [][]int) (experiments.Aggregate, error) {
+	prefixes := experiments.FormatPrefixes(roots)
+	tried := make(map[*worker]bool)
+	for attempt := 0; attempt < c.retries; attempt++ {
+		w := c.pick(tried)
+		if w == nil {
+			break // fleet exhausted for this range
+		}
+		tried[w] = true
+		agg, err := c.fetchSlice(ctx, w, id, sh, prefixes)
+		w.inflight.Add(-1)
+		if err == nil {
+			c.prefixRemote.Add(1)
+			return agg, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		c.failovers.Add(1)
+		c.rangesReassigned.Add(1)
+		c.logf("shard: %s range %s on %s failed (%v); reassigning", id, prefixes, w.base, err)
+	}
+	// A local exploration fans out across every core (Explore owns the
+	// whole budget, unlike the engine's serial runners), so ranges
+	// falling back concurrently are serialized on a one-slot semaphore
+	// rather than stacking full-width explorer pools.
+	select {
+	case c.exploreSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.exploreSem }()
+	agg, err := sh.Explore(roots)
+	if err != nil {
+		return nil, err
+	}
+	c.prefixLocal.Add(1)
+	c.logf("shard: %s range %s explored locally", id, prefixes)
+	return agg, nil
+}
+
+// fetchSlice retrieves one prefix range's aggregate from one worker,
+// under the same in-flight cap, timeout, eviction, and revival rules
+// as a whole-experiment fetch. A worker serving a different
+// experiment generation (registry version) fails the attempt: its
+// numbers describe a different space.
+func (c *Coordinator) fetchSlice(ctx context.Context, w *worker, id string, sh experiments.Shardable, prefixes string) (experiments.Aggregate, error) {
+	var agg experiments.Aggregate
+	path := "/experiments/" + url.PathEscape(id) + "?prefixes=" + url.QueryEscape(prefixes)
+	err := c.fetchWorker(ctx, w, path, func(body io.Reader) error {
+		env, err := experiments.DecodeShard(body)
+		if err != nil {
+			return err
+		}
+		if env.ID != id || env.Prefixes != prefixes {
+			return fmt.Errorf("shard envelope for %s %s, want %s %s", env.ID, env.Prefixes, id, prefixes)
+		}
+		if env.RegistryVersion != experiments.RegistryVersion {
+			return fmt.Errorf("worker registry %s, want %s", env.RegistryVersion, experiments.RegistryVersion)
+		}
+		agg, err = sh.Decode(env.Aggregate)
+		return err
+	})
+	return agg, err
+}
+
 // pick returns the selectable, untried worker with the lowest load,
 // charging it one in-flight slot (the caller releases it), or nil
 // when no worker qualifies.
 func (c *Coordinator) pick(tried map[*worker]bool) *worker {
 	c.pickMu.Lock()
 	defer c.pickMu.Unlock()
-	now := time.Now()
+	now := c.now()
 	var best *worker
 	for _, w := range c.workers {
 		if tried[w] || !w.selectable(now) {
@@ -442,46 +700,71 @@ func (c *Coordinator) pick(tried map[*worker]bool) *worker {
 	return best
 }
 
-// fetch retrieves one experiment from one worker, holding a slot of
-// the worker's in-flight cap for the duration. A transport failure
-// evicts the worker — unless it is this request's own deadline,
-// because a slow experiment is not a dead worker — and a success
-// restores an evicted worker to rotation.
-func (c *Coordinator) fetch(ctx context.Context, w *worker, id string) (experiments.Result, error) {
+// fetchWorker performs one GET against a worker, holding a slot of
+// the worker's in-flight cap for the duration (body read included)
+// under the per-request timeout, and applies the shared failure
+// policy: a transport failure evicts the worker — unless it is this
+// request's own deadline, because a slow experiment is not a dead
+// worker — a non-200 drains a bounded body prefix and fails the
+// attempt, and a fully decoded success (decode returned nil) restores
+// an evicted worker to rotation. Both the whole-experiment and the
+// prefix-slice paths go through here so the failover policy cannot
+// diverge between them.
+func (c *Coordinator) fetchWorker(ctx context.Context, w *worker, pathAndQuery string, decode func(io.Reader) error) error {
 	select {
 	case w.sem <- struct{}{}:
 	case <-ctx.Done():
-		return experiments.Result{}, ctx.Err()
+		return ctx.Err()
 	}
 	defer func() { <-w.sem }()
 	ctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
 	defer cancel()
-	u := w.base + "/experiments/" + url.PathEscape(id) + "?format=json"
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+pathAndQuery, nil)
 	if err != nil {
-		return experiments.Result{}, err
+		return err
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if !errors.Is(err, context.DeadlineExceeded) {
 			c.evict(w)
 		}
-		return experiments.Result{}, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
-		return experiments.Result{}, fmt.Errorf("status %d", resp.StatusCode)
+		return fmt.Errorf("status %d", resp.StatusCode)
 	}
-	results, err := experiments.DecodeJSON(resp.Body)
-	if err != nil {
-		return experiments.Result{}, err
+	// A worker on a different experiment generation answers 200 with
+	// perfectly decodable bytes from the wrong registry; merging them
+	// would break byte-identity silently, so the attempt fails
+	// instead. Workers too old to send the header are caught by the
+	// probe's /stats version check.
+	if v := resp.Header.Get(server.RegistryVersionHeader); v != "" && v != experiments.RegistryVersion {
+		return fmt.Errorf("worker registry %s, want %s", v, experiments.RegistryVersion)
 	}
-	if len(results) != 1 || results[0].ID != id || results[0].Err != nil || results[0].Table == nil {
-		return experiments.Result{}, fmt.Errorf("unusable result payload")
+	if err := decode(resp.Body); err != nil {
+		return err
 	}
 	c.revive(w)
-	return results[0], nil
+	return nil
+}
+
+// fetch retrieves one experiment whole from one worker.
+func (c *Coordinator) fetch(ctx context.Context, w *worker, id string) (experiments.Result, error) {
+	var res experiments.Result
+	err := c.fetchWorker(ctx, w, "/experiments/"+url.PathEscape(id)+"?format=json", func(body io.Reader) error {
+		results, err := experiments.DecodeJSON(body)
+		if err != nil {
+			return err
+		}
+		if len(results) != 1 || results[0].ID != id || results[0].Err != nil || results[0].Table == nil {
+			return fmt.Errorf("unusable result payload")
+		}
+		res = results[0]
+		return nil
+	})
+	return res, err
 }
 
 // runLocal executes one experiment through the in-process engine,
@@ -508,10 +791,14 @@ func (c *Coordinator) runLocal(ctx context.Context, id string) (experiments.Resu
 // Stats returns a snapshot of the coordinator's counters.
 func (c *Coordinator) Stats() Stats {
 	st := Stats{
-		WorkersTotal: len(c.workers),
-		Remote:       c.remote.Load(),
-		Local:        c.localRuns.Load(),
-		Failovers:    c.failovers.Load(),
+		WorkersTotal:       len(c.workers),
+		Remote:             c.remote.Load(),
+		Local:              c.localRuns.Load(),
+		Failovers:          c.failovers.Load(),
+		PrefixSharded:      c.prefixSharded.Load(),
+		PrefixRangesRemote: c.prefixRemote.Load(),
+		PrefixRangesLocal:  c.prefixLocal.Load(),
+		RangesReassigned:   c.rangesReassigned.Load(),
 	}
 	for _, w := range c.workers {
 		if w.healthy.Load() {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -381,7 +382,7 @@ func TestPickLeastLoaded(t *testing.T) {
 	idle := &worker{base: "http://idle"}
 	idle.healthy.Store(true)
 	dead := &worker{base: "http://dead"}
-	c := &Coordinator{workers: []*worker{busy, idle, dead}}
+	c := &Coordinator{workers: []*worker{busy, idle, dead}, now: time.Now}
 
 	if w := c.pick(nil); w != idle {
 		t.Fatalf("pick = %v, want the idle worker", w)
@@ -448,17 +449,42 @@ func TestBaselineExpires(t *testing.T) {
 	}
 }
 
+// fakeClock is an injectable coordinator clock (Options.Now) that
+// tests advance manually, so eviction-revival and baseline-expiry
+// behavior is asserted without real sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
 // TestEvictedWorkerRevives: eviction is not forever — after
 // ReviveAfter a live request may re-try the worker, and one success
 // restores it to full rotation (the property that lets a figuresd
-// -peers front daemon survive worker restarts).
+// -peers front daemon survive worker restarts). The coordinator runs
+// on an injected clock: no real sleeps.
 func TestEvictedWorkerRevives(t *testing.T) {
 	reg, _ := syntheticRegistry("E1")
 	w := newWorker(t, reg)
 	localReg, _ := syntheticRegistry("E1")
+	clk := newFakeClock()
 	coord, err := New(Options{
 		Workers:     []string{w.URL},
-		ReviveAfter: 50 * time.Millisecond,
+		ReviveAfter: time.Minute,
+		Now:         clk.Now,
 		Local:       experiments.Options{Registry: localReg, Jobs: 1},
 	})
 	if err != nil {
@@ -466,14 +492,14 @@ func TestEvictedWorkerRevives(t *testing.T) {
 	}
 	wk := coord.workers[0]
 	coord.evict(wk)
-	if wk.selectable(time.Now()) {
+	if wk.selectable(clk.Now()) {
 		t.Fatal("just-evicted worker is selectable")
 	}
 	if got := coord.pick(nil); got != nil {
 		got.inflight.Add(-1)
 		t.Fatal("pick returned an evicted worker inside the revive window")
 	}
-	time.Sleep(80 * time.Millisecond)
+	clk.Advance(time.Minute + time.Second)
 	got := coord.pick(nil)
 	if got != wk {
 		t.Fatal("evicted worker not offered for revival after ReviveAfter")

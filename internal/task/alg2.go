@@ -212,3 +212,50 @@ func ExploreAlg2(plan *Plan, input Pair) (int, error) {
 	}
 	return runs, checkErr
 }
+
+// Alg2Roots enumerates the live schedule prefixes of the exhaustive
+// Algorithm 2 exploration at the given cut depth
+// (sched.PartitionRoots), so the validation sweep can be carved into
+// disjoint ranges like any other exploration space.
+func Alg2Roots(plan *Plan, input Pair, depth int) ([][]int, error) {
+	factory := func() []sched.ProcFunc {
+		sys := NewAlg2System(plan)
+		return []sched.ProcFunc{sys.Proc(0, input[0]), sys.Proc(1, input[1])}
+	}
+	return sched.PartitionRoots(factory, 0, depth)
+}
+
+// ExploreAlg2Prefixes validates exactly the Algorithm 2 executions
+// extending the given schedule prefixes, with a bounded goroutine
+// fan-out (sched.ExplorePrefixes). The run count is the shard's
+// order-insensitive aggregate: counts from any partition of an
+// Alg2Roots root set sum to the ExploreAlg2 total, and a violation in
+// any slice surfaces as that slice's error.
+func ExploreAlg2Prefixes(plan *Plan, input Pair, workers int, roots [][]int) (int, error) {
+	// Done runs serially under the explorer's lock, so checkErr needs
+	// no further synchronization.
+	var checkErr error
+	factory := func() sched.Instance {
+		sys := NewAlg2System(plan)
+		return sched.Instance{
+			Procs: []sched.ProcFunc{sys.Proc(0, input[0]), sys.Proc(1, input[1])},
+			Done: func(r *sched.Result) {
+				if checkErr != nil {
+					return
+				}
+				if e := r.Err(); e != nil {
+					checkErr = e
+					return
+				}
+				if e := CheckRun(plan.Task, input, sys); e != nil {
+					checkErr = fmt.Errorf("schedule %v: %w", r.Decisions, e)
+				}
+			},
+		}
+	}
+	runs, err := sched.ExplorePrefixes(factory, 0, workers, roots)
+	if err != nil {
+		return runs, err
+	}
+	return runs, checkErr
+}
