@@ -30,11 +30,12 @@ lint:
 	fi
 	$(GO) vet ./...
 
-# cover reports internal/sched + internal/shard coverage — the two
-# packages the prefix-sharding protocol lives in. CI enforces a floor
-# on the combined total.
+# cover reports internal/sched + internal/shard + internal/cache
+# coverage — the packages the prefix-sharding protocol and the
+# artifact-cache hierarchy live in. CI enforces a floor on the
+# combined total.
 cover:
-	$(GO) test -short -cover -coverprofile=cover.out ./internal/sched ./internal/shard
+	$(GO) test -short -cover -coverprofile=cover.out ./internal/sched ./internal/shard ./internal/cache
 	$(GO) tool cover -func=cover.out | tail -1
 
 # fuzz-smoke runs each fuzz target briefly: arbitrary bytes must never

@@ -1,5 +1,5 @@
 // Command figures regenerates the data behind every figure and
-// theorem-level claim of the paper (experiments E1..E14 of DESIGN.md)
+// theorem-level claim of the paper (experiments E1..E15 of DESIGN.md)
 // through the concurrent experiment engine, printing one table per
 // experiment in index order regardless of completion order.
 //
@@ -19,13 +19,18 @@
 // (internal/shard) and the merged output is still byte-identical to a
 // local run — -jobs then governs only the local fallback, because
 // remote workers own their own concurrency. Prefix-shardable
-// experiments (E2's exhaustive Algorithm 1 sweep) go further when at
-// least two workers are healthy: their own exploration space is
-// carved into schedule-prefix ranges split across the fleet and the
+// experiments (E2's exhaustive Algorithm 1 sweep, E15's exhaustive
+// Algorithm 2 validation) go further when at least two workers are
+// healthy: their own exploration space is carved into
+// schedule-prefix ranges split across the fleet and the
 // order-insensitive aggregates are merged, so a single theorem-scale
 // space finishes faster than any one box while emitting the same
-// bytes. The process exits non-zero when any experiment in the run
-// fails, even though the failed row is still encoded in the output.
+// bytes. Combining -workers with -cache-dir makes the run the top of
+// a read-through cache hierarchy: each range is consulted in the
+// store before it is dispatched and stored back after, so a repeated
+// sharded run of the same space executes zero explorations anywhere.
+// The process exits non-zero when any experiment in the run fails,
+// even though the failed row is still encoded in the output.
 package main
 
 import (
@@ -159,9 +164,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "figures: total %.3fs\n", time.Since(start).Seconds())
 	}
-	// The hit-rate line only describes a local run: a sharded run's
-	// hits happen inside each worker's own cache, invisible here.
-	if opts.Cache != nil && *workers == "" {
+	// The hit-rate line counts this process's own store: local-run
+	// hits, or — sharded — the coordinator's front-cache hits (worker
+	// and slice-level warmth shows on the shard summary lines and the
+	// workers' /stats instead).
+	if opts.Cache != nil {
 		hits := 0
 		for _, r := range results {
 			if r.Cached {
@@ -220,8 +227,8 @@ func runSharded(fleet, ids []string, opts experiments.Options, stderr io.Writer,
 	fmt.Fprintf(stderr, "figures: shard %d/%d workers healthy, %d remote, %d local\n",
 		st.WorkersHealthy, st.WorkersTotal, st.Remote, st.Local)
 	if st.PrefixSharded > 0 {
-		fmt.Fprintf(stderr, "figures: shard %d prefix-sharded (%d ranges remote, %d local, %d reassigned)\n",
-			st.PrefixSharded, st.PrefixRangesRemote, st.PrefixRangesLocal, st.RangesReassigned)
+		fmt.Fprintf(stderr, "figures: shard %d prefix-sharded (%d ranges remote, %d local, %d cached, %d reassigned)\n",
+			st.PrefixSharded, st.PrefixRangesRemote, st.PrefixRangesLocal, st.PrefixRangesCached, st.RangesReassigned)
 	}
 	return results, nil
 }

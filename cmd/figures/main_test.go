@@ -233,7 +233,7 @@ func TestRunList(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Fields(out.String())
-	if len(lines) != 14 || lines[0] != "E1" || lines[13] != "E14" {
+	if len(lines) != 15 || lines[0] != "E1" || lines[14] != "E15" {
 		t.Fatalf("-list = %v", lines)
 	}
 }

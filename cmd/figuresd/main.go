@@ -1,6 +1,6 @@
 // Command figuresd is the experiment-serving daemon: the figures
 // pipeline behind HTTP instead of a one-shot CLI. It mounts
-// internal/server over the E1..E14 registry, optionally backed by the
+// internal/server over the E1..E15 registry, optionally backed by the
 // on-disk result cache, and shuts down gracefully on SIGINT/SIGTERM.
 //
 // Usage:
@@ -21,12 +21,16 @@
 // daemon also serves prefix slices of shardable experiments
 // (GET /experiments/{id}?prefixes=..., the intra-experiment sharding
 // protocol of internal/shard), so any figuresd instance can compute
-// its share of a split exploration space. With -peers, this daemon
+// its share of a split exploration space — and with -cache-dir those
+// slices are artifacts too, served from and stored into the same
+// content-addressed store as whole results. With -peers, this daemon
 // becomes the front door of a figuresd fleet: experiment execution
 // fans out to the peers through the shard coordinator — shardable
 // experiments are carved into prefix ranges across the fleet when at
-// least two peers are healthy — and falls back to running locally
-// when the fleet cannot serve.
+// least two peers are healthy, each range read through the front
+// cache before it is dispatched and stored back after, so the fleet
+// is a read-through cache hierarchy — and falls back to running
+// locally when the fleet cannot serve.
 package main
 
 import (
@@ -50,7 +54,7 @@ import (
 )
 
 // testRegistry overrides the experiment registry in tests; nil
-// outside of tests (the real E1..E14 registry is served).
+// outside of tests (the real E1..E15 registry is served).
 var testRegistry map[string]experiments.Runner
 
 func main() {

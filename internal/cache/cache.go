@@ -1,22 +1,35 @@
-// Package cache is a content-addressed, on-disk store of experiment
-// results. Each entry is one experiment's Result in the JSON wire form
-// of internal/experiments (EncodeJSON/DecodeJSON), addressed by a
-// SHA-256 fingerprint of (experiment id, registry version, Go version,
-// module version): any version bump changes every fingerprint, so a
-// stale store invalidates itself by missing rather than by being
-// scrubbed. Writes are atomic (temp file + rename in the store
-// directory), every payload carries its own checksum, and entries that
-// fail any check — envelope schema, recorded key, checksum, decode —
-// are deleted and reported as misses so corruption always falls back
-// to re-running the experiment, never to serving bad bytes. A
-// byte-size cap evicts least-recently-used entries (Get refreshes an
-// entry's mtime) on write.
+// Package cache is a content-addressed, on-disk artifact store for
+// experiment outputs. It holds two kinds of artifact behind one
+// checksummed, atomically-written, LRU-capped code path:
 //
-// Store implements experiments.Cache, so it plugs directly into
-// experiments.Options; cmd/figures (-cache-dir) and cmd/figuresd wire
-// it up. Stats counts hits, misses, corruption, and evictions since
-// Open — the counters internal/server republishes on its /stats
-// endpoint.
+//   - whole results: one experiment's Result in the JSON wire form of
+//     internal/experiments (EncodeJSON/DecodeJSON);
+//   - slice aggregates: one prefix range's ShardEnvelope — the wire
+//     form of GET /experiments/{id}?prefixes=... — so repeated sharded
+//     runs of the same exploration space are warm too.
+//
+// Every artifact is addressed by a SHA-256 fingerprint of its
+// ArtifactKey (experiment id, prefix set, registry version, Go
+// version, module version): any version bump changes every
+// fingerprint, so a stale store invalidates itself by missing rather
+// than by being scrubbed. An empty prefix set is a whole result, and
+// its fingerprint is byte-compatible with the pre-slice key scheme,
+// so stores written before slices existed stay warm. Writes are
+// atomic (temp file + rename in the store directory), every payload
+// carries its own checksum, and entries that fail any check —
+// envelope schema, recorded key, checksum, decode — are deleted and
+// reported as misses so corruption always falls back to re-computing
+// that artifact (and only that artifact: a corrupt slice re-explores
+// one range, not the whole space), never to serving bad bytes. A
+// byte-size cap evicts least-recently-used entries of either kind
+// (Get and GetSlice refresh an entry's mtime) on write.
+//
+// Store implements experiments.SliceCache (a superset of
+// experiments.Cache), so it plugs directly into experiments.Options,
+// internal/server's slice endpoint, and internal/shard's per-range
+// read-through; cmd/figures (-cache-dir) and cmd/figuresd wire it up.
+// Stats counts hits, misses, corruption, and evictions since Open —
+// the counters internal/server republishes on its /stats endpoint.
 package cache
 
 import (
@@ -43,7 +56,7 @@ import (
 const schemaVersion = 1
 
 // DefaultMaxBytes caps the store at 256 MiB unless Options.MaxBytes
-// overrides it — two orders of magnitude above a full E1–E14 table
+// overrides it — two orders of magnitude above a full E1–E15 table
 // set, so eviction only matters for long-lived shared directories.
 const DefaultMaxBytes = 256 << 20
 
@@ -63,15 +76,21 @@ type Options struct {
 	ModuleVersion string
 }
 
-// Stats counts a store's traffic since Open.
+// Stats counts a store's traffic since Open. Whole results and slice
+// aggregates are counted separately — a sharded run's warmth is
+// visible even when its whole-result entry was never written.
 type Stats struct {
-	Hits    int64 // Get served a stored result
-	Misses  int64 // Get found nothing usable
-	Corrupt int64 // subset of Misses: an entry existed but failed a check
-	Evicted int64 // entries removed by the size cap
+	Hits        int64 // Get served a stored whole result
+	Misses      int64 // Get found nothing usable
+	SliceHits   int64 // GetSlice served a stored slice aggregate
+	SliceMisses int64 // GetSlice found nothing usable
+	SliceStores int64 // PutSlice wrote a slice aggregate
+	Corrupt     int64 // subset of the misses: an entry existed but failed a check
+	Evicted     int64 // entries removed by the size cap
 }
 
-// HitRate returns hits/(hits+misses) in [0, 1], and 0 for an idle store.
+// HitRate returns whole-result hits/(hits+misses) in [0, 1], and 0 for
+// an idle store.
 func (s Stats) HitRate() float64 {
 	if s.Hits+s.Misses == 0 {
 		return 0
@@ -79,21 +98,37 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// Key is the full cache key of one entry. Every field participates in
-// the fingerprint, and the stored copy must match the store's own key
-// on read — a fingerprint collision or a file copied between stores
-// with different versions is detected and discarded, never served.
-type Key struct {
-	Experiment      string `json:"experiment"`
+// ArtifactKey is the full cache key of one artifact. Every field
+// participates in the fingerprint, and the stored copy must match the
+// store's own key on read — a fingerprint collision or a file copied
+// between stores with different versions is detected and discarded,
+// never served. An empty Prefixes means a whole experiment result;
+// a non-empty Prefixes (the canonical experiments.FormatPrefixes
+// rendering of a root set) means one slice's aggregate. The JSON tags
+// keep the pre-slice envelope form: a whole key marshals exactly as
+// the old four-field key did, so entries written before slices
+// existed still validate.
+type ArtifactKey struct {
+	ID              string `json:"experiment"`
+	Prefixes        string `json:"prefixes,omitempty"`
 	RegistryVersion string `json:"registry_version"`
 	GoVersion       string `json:"go_version"`
 	ModuleVersion   string `json:"module_version"`
 }
 
 // Fingerprint returns the hex SHA-256 content address of the key.
-func (k Key) Fingerprint() string {
+// Whole-result keys hash exactly the four parts the pre-slice scheme
+// hashed — byte-compatible, so an existing store stays warm across
+// the artifact generalization; slice keys append the prefix set as a
+// fifth part. Length-prefixing makes the part stream unambiguous, so
+// neither field boundaries nor the part count can collide.
+func (k ArtifactKey) Fingerprint() string {
 	h := sha256.New()
-	for _, part := range []string{k.Experiment, k.RegistryVersion, k.GoVersion, k.ModuleVersion} {
+	parts := []string{k.ID, k.RegistryVersion, k.GoVersion, k.ModuleVersion}
+	if k.Prefixes != "" {
+		parts = append(parts, k.Prefixes)
+	}
+	for _, part := range parts {
 		// Length-prefix each part so ("a", "bc") and ("ab", "c")
 		// cannot collide.
 		fmt.Fprintf(h, "%d:%s", len(part), part)
@@ -103,27 +138,28 @@ func (k Key) Fingerprint() string {
 
 // envelope is the on-disk entry format: the key it was stored under,
 // a checksum of the payload, and the payload itself — the one-element
-// EncodeJSON array of the result.
+// EncodeJSON array of a whole result, or the ShardEnvelope of one
+// slice's aggregate.
 type envelope struct {
 	Schema  int             `json:"schema"`
-	Key     Key             `json:"key"`
+	Key     ArtifactKey     `json:"key"`
 	SHA256  string          `json:"sha256"`
 	Payload json.RawMessage `json:"payload"`
 }
 
-// Store is an on-disk result cache. It is safe for concurrent use by
+// Store is an on-disk artifact cache. It is safe for concurrent use by
 // multiple goroutines; concurrent processes sharing a directory are
 // safe too (atomic renames), though their evictions race benignly.
 type Store struct {
 	dir      string
 	maxBytes int64
-	key      Key // Experiment field empty; filled per entry
+	key      ArtifactKey // ID and Prefixes empty; filled per artifact
 
 	mu    sync.Mutex
 	stats Stats
 }
 
-var _ experiments.Cache = (*Store)(nil)
+var _ experiments.SliceCache = (*Store)(nil)
 
 // Open creates dir if needed and returns a store over it.
 func Open(dir string, opts Options) (*Store, error) {
@@ -149,7 +185,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	return &Store{
 		dir:      dir,
 		maxBytes: opts.MaxBytes,
-		key: Key{
+		key: ArtifactKey{
 			RegistryVersion: opts.RegistryVersion,
 			GoVersion:       opts.GoVersion,
 			ModuleVersion:   opts.ModuleVersion,
@@ -165,59 +201,85 @@ func buildModuleVersion() string {
 	return "unknown"
 }
 
-// keyFor returns the full key for one experiment id.
-func (s *Store) keyFor(id string) Key {
+// keyFor returns the full artifact key for one experiment id and
+// prefix set ("" = the whole result).
+func (s *Store) keyFor(id, prefixes string) ArtifactKey {
 	k := s.key
-	k.Experiment = id
+	k.ID = id
+	k.Prefixes = prefixes
 	return k
 }
 
-func (s *Store) path(k Key) string {
+func (s *Store) path(k ArtifactKey) string {
 	return filepath.Join(s.dir, k.Fingerprint()+".json")
+}
+
+// readEntry loads and validates the envelope stored under k, returning
+// its payload. A missing file is a plain miss (ok false, corrupt
+// false); an entry failing any envelope check — schema, recorded key,
+// checksum — is deleted and reported corrupt. Payload-level decoding
+// belongs to the caller (the two artifact kinds decode differently);
+// rejectEntry is its counterpart for payloads that fail there.
+func (s *Store) readEntry(k ArtifactKey) (payload []byte, ok, corrupt bool) {
+	path := s.path(k)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		s.rejectEntry(k)
+		return nil, false, true
+	}
+	if env.Schema != schemaVersion || env.Key != k {
+		s.rejectEntry(k)
+		return nil, false, true
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		s.rejectEntry(k)
+		return nil, false, true
+	}
+	// Refresh the entry's recency for LRU eviction; best-effort.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return env.Payload, true, false
+}
+
+// rejectEntry removes an untrustworthy entry so the artifact silently
+// recomputes instead of failing the same way on every lookup.
+func (s *Store) rejectEntry(k ArtifactKey) {
+	os.Remove(s.path(k))
 }
 
 // Get implements experiments.Cache. Untrustworthy entries — wrong
 // schema, mismatched key, bad checksum, undecodable payload, or a
 // stored failure — are deleted and reported as corrupt misses.
 func (s *Store) Get(id string) (experiments.Result, bool) {
-	k := s.keyFor(id)
-	path := s.path(k)
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		s.count(func(st *Stats) { st.Misses++ })
-		return experiments.Result{}, false
+	k := s.keyFor(id, "")
+	payload, ok, corrupt := s.readEntry(k)
+	if ok {
+		res, err := decodeResult(payload, id)
+		if err == nil {
+			s.count(func(st *Stats) { st.Hits++ })
+			return res, true
+		}
+		s.rejectEntry(k)
+		corrupt = true
 	}
-	res, err := decodeEntry(raw, k)
-	if err != nil {
-		os.Remove(path)
-		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
-		return experiments.Result{}, false
-	}
-	// Refresh the entry's recency for LRU eviction; best-effort.
-	now := time.Now()
-	os.Chtimes(path, now, now)
-	s.count(func(st *Stats) { st.Hits++ })
-	return res, true
+	s.count(func(st *Stats) {
+		st.Misses++
+		if corrupt {
+			st.Corrupt++
+		}
+	})
+	return experiments.Result{}, false
 }
 
-// decodeEntry validates an on-disk entry against the key it should
-// have been stored under and returns the successful result it holds.
-func decodeEntry(raw []byte, want Key) (experiments.Result, error) {
-	var env envelope
-	if err := json.Unmarshal(raw, &env); err != nil {
-		return experiments.Result{}, fmt.Errorf("cache: bad envelope: %w", err)
-	}
-	if env.Schema != schemaVersion {
-		return experiments.Result{}, fmt.Errorf("cache: schema %d, want %d", env.Schema, schemaVersion)
-	}
-	if env.Key != want {
-		return experiments.Result{}, fmt.Errorf("cache: entry key %+v does not match %+v", env.Key, want)
-	}
-	sum := sha256.Sum256(env.Payload)
-	if hex.EncodeToString(sum[:]) != env.SHA256 {
-		return experiments.Result{}, fmt.Errorf("cache: payload checksum mismatch")
-	}
-	results, err := experiments.DecodeJSON(bytes.NewReader(env.Payload))
+// decodeResult parses a whole-result payload and vets that it is a
+// successful result for the expected experiment.
+func decodeResult(payload []byte, id string) (experiments.Result, error) {
+	results, err := experiments.DecodeJSON(bytes.NewReader(payload))
 	if err != nil {
 		return experiments.Result{}, err
 	}
@@ -225,10 +287,43 @@ func decodeEntry(raw []byte, want Key) (experiments.Result, error) {
 		return experiments.Result{}, fmt.Errorf("cache: entry holds %d results, want 1", len(results))
 	}
 	r := results[0]
-	if r.ID != want.Experiment || r.Err != nil || r.Table == nil {
-		return experiments.Result{}, fmt.Errorf("cache: entry is not a successful %s result", want.Experiment)
+	if r.ID != id || r.Err != nil || r.Table == nil {
+		return experiments.Result{}, fmt.Errorf("cache: entry is not a successful %s result", id)
 	}
 	return r, nil
+}
+
+// GetSlice implements experiments.SliceCache: it returns the stored
+// shard envelope for one slice of one experiment's exploration space.
+// The same trust rules as Get apply — an entry whose payload is not a
+// shard envelope for exactly this id, prefix set, and registry
+// generation is deleted and reported as a corrupt miss, so a corrupt
+// slice re-explores one range, never the whole space.
+func (s *Store) GetSlice(id, prefixes string) (experiments.ShardEnvelope, bool) {
+	if prefixes == "" {
+		// The whole space is a whole result; there is no empty slice.
+		s.count(func(st *Stats) { st.SliceMisses++ })
+		return experiments.ShardEnvelope{}, false
+	}
+	k := s.keyFor(id, prefixes)
+	payload, ok, corrupt := s.readEntry(k)
+	if ok {
+		env, err := experiments.DecodeShard(bytes.NewReader(payload))
+		if err == nil && env.ID == id && env.Prefixes == prefixes &&
+			env.RegistryVersion == s.key.RegistryVersion {
+			s.count(func(st *Stats) { st.SliceHits++ })
+			return env, true
+		}
+		s.rejectEntry(k)
+		corrupt = true
+	}
+	s.count(func(st *Stats) {
+		st.SliceMisses++
+		if corrupt {
+			st.Corrupt++
+		}
+	})
+	return experiments.ShardEnvelope{}, false
 }
 
 // Put implements experiments.Cache: it stores a successful result
@@ -242,24 +337,54 @@ func (s *Store) Put(id string, r experiments.Result) error {
 	if err := experiments.EncodeJSON(&encoded, []experiments.Result{r}); err != nil {
 		return err
 	}
+	return s.write(s.keyFor(id, ""), encoded.Bytes())
+}
+
+// PutSlice implements experiments.SliceCache: it stores one slice's
+// shard envelope under the artifact key derived from its id and
+// prefix set. An envelope from a different registry generation is
+// refused — its numbers describe a different space, and storing it
+// under this store's key would serve them as this generation's.
+func (s *Store) PutSlice(env experiments.ShardEnvelope) error {
+	if env.ID == "" || env.Prefixes == "" || len(env.Aggregate) == 0 {
+		return fmt.Errorf("cache: refusing to store incomplete slice envelope %+v", env)
+	}
+	if env.RegistryVersion != s.key.RegistryVersion {
+		return fmt.Errorf("cache: slice envelope registry %s, store %s", env.RegistryVersion, s.key.RegistryVersion)
+	}
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if err := s.write(s.keyFor(env.ID, env.Prefixes), payload); err != nil {
+		return err
+	}
+	s.count(func(st *Stats) { st.SliceStores++ })
+	return nil
+}
+
+// write stores one artifact payload under its key — the single code
+// path both artifact kinds share: compact, checksum, envelope, atomic
+// write, evict.
+func (s *Store) write(k ArtifactKey, encoded []byte) error {
 	// Compact before checksumming: json.Marshal compacts RawMessage
 	// fields when writing the envelope, and the checksum must cover
 	// the payload bytes as they appear on disk.
 	var payload bytes.Buffer
-	if err := json.Compact(&payload, encoded.Bytes()); err != nil {
+	if err := json.Compact(&payload, encoded); err != nil {
 		return err
 	}
 	sum := sha256.Sum256(payload.Bytes())
 	raw, err := json.Marshal(envelope{
 		Schema:  schemaVersion,
-		Key:     s.keyFor(id),
+		Key:     k,
 		SHA256:  hex.EncodeToString(sum[:]),
 		Payload: payload.Bytes(),
 	})
 	if err != nil {
 		return err
 	}
-	if err := writeAtomic(s.dir, s.path(s.keyFor(id)), raw); err != nil {
+	if err := writeAtomic(s.dir, s.path(k), raw); err != nil {
 		return err
 	}
 	return s.evict()
@@ -321,7 +446,10 @@ func removeIfStaleTemp(dir string, de os.DirEntry, cutoff time.Time) bool {
 
 // evict removes least-recently-used entries until the store fits the
 // byte cap, sweeping stale temp files on the same directory scan.
-// Get refreshes mtimes, so mtime order is use order.
+// Get and GetSlice refresh mtimes, so mtime order is use order; whole
+// results and slice aggregates share the one cap and the one recency
+// order — a run that only ever touches slices ages whole entries out,
+// and vice versa.
 func (s *Store) evict() error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// E15 is the exhaustive Algorithm 2 validation sweep in partial-run
+// form: Theorem 1.2 checked constructively by enumerating every
+// crash-free interleaving of the universal construction on one
+// solvable task and validating every execution's outputs against the
+// task specification (task.CheckRun). The space is a schedule tree
+// like E2's, so it shards the same way — task.Alg2Roots carves it,
+// task.ExploreAlg2Prefixes explores a slice, and the run count is the
+// order-insensitive aggregate (a violation in any slice surfaces as
+// that slice's error, so a merged success really did validate every
+// interleaving).
+
+// e15Choice and e15Input pin E15's instance: Algorithm 2 on the
+// 2-value choice task with the mixed input (0, 1) — the input whose
+// executions traverse every ε-agreement outcome class (full input
+// seen, other input missing, and the 0 < d < 1 path walk).
+// e15ShardDepth is the partition cut — depth 5 carves the
+// ~28k-execution tree into ~2^5 ranges, the same grain as E2.
+const (
+	e15Choice     = 2
+	e15ShardDepth = 5
+)
+
+var e15Input = task.Pair{0, 1}
+
+// e15Plan builds E15's execution plan. Plan construction is
+// deterministic and cheap next to the exploration, so every caller
+// (runner, roots, explore, finish) rebuilds it rather than sharing
+// mutable state.
+func e15Plan() (*task.Plan, error) {
+	tk := task.ChoiceTask(e15Choice)
+	sub, ok := tk.FindSolvableSubset()
+	if !ok {
+		return nil, fmt.Errorf("experiments: task %s not solvable", tk.Name)
+	}
+	return tk.BuildPlan(sub)
+}
+
+// alg2SweepAgg is the order-insensitive aggregate of the exhaustive
+// Algorithm 2 sweep: the number of interleavings explored and
+// validated. Counts from any grouping of a partition sum to the
+// whole-space total.
+type alg2SweepAgg struct {
+	Execs int `json:"execs"`
+}
+
+// Merge implements Aggregate.
+func (a *alg2SweepAgg) Merge(other Aggregate) error {
+	b, ok := other.(*alg2SweepAgg)
+	if !ok {
+		return fmt.Errorf("experiments: cannot merge %T into %T", other, a)
+	}
+	a.Execs += b.Execs
+	return nil
+}
+
+// finishE15 renders E15's table from a fully-merged aggregate — the
+// one rendering path shared by the local runner and the sharded
+// merge, which is what makes their bytes identical.
+func finishE15(a *alg2SweepAgg) (*Table, error) {
+	plan, err := e15Plan()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E15",
+		Title:   "Thm 1.2 exhaustive — Algorithm 2 on every interleaving, choice task",
+		Headers: []string{"quantity", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"task", plan.Task.Name},
+		[]string{"input", fmt.Sprintf("(%d, %d)", e15Input[0], e15Input[1])},
+		[]string{"path length L", itoa(plan.L)},
+		[]string{"ε-agreement k = L/2", itoa(plan.L / 2)},
+		[]string{"interleavings validated", itoa(a.Execs)},
+	)
+	t.Notes = append(t.Notes,
+		"every crash-free interleaving's outputs legal for the task (CheckRun); a violation anywhere fails the sweep")
+	return t, nil
+}
+
+// Theorem12Exhaustive (E15) runs the whole sweep through the same
+// aggregate-and-finish path a prefix-sharded run merges through.
+// Serial inner exploration, like every engine-driven runner: the
+// engine owns the concurrency budget one level up.
+func Theorem12Exhaustive() (*Table, error) {
+	plan, err := e15Plan()
+	if err != nil {
+		return nil, err
+	}
+	execs, err := task.ExploreAlg2Prefixes(plan, e15Input, 1, [][]int{{}})
+	if err != nil {
+		return nil, err
+	}
+	return finishE15(&alg2SweepAgg{Execs: execs})
+}
+
+// e15Shardable is E15's partial-run form. Explore fans out in-process
+// (the slice is this worker's whole job, so the concurrency budget is
+// spent here, unlike the engine-driven serial runner).
+func e15Shardable() Shardable {
+	return Shardable{
+		Roots: func() ([][]int, error) {
+			plan, err := e15Plan()
+			if err != nil {
+				return nil, err
+			}
+			return task.Alg2Roots(plan, e15Input, e15ShardDepth)
+		},
+		Explore: func(roots [][]int) (Aggregate, error) {
+			plan, err := e15Plan()
+			if err != nil {
+				return nil, err
+			}
+			execs, err := task.ExploreAlg2Prefixes(plan, e15Input, 0, roots)
+			if err != nil {
+				return nil, err
+			}
+			return &alg2SweepAgg{Execs: execs}, nil
+		},
+		Decode: func(data []byte) (Aggregate, error) {
+			var a alg2SweepAgg
+			if err := json.Unmarshal(data, &a); err != nil {
+				return nil, fmt.Errorf("experiments: decoding E15 aggregate: %w", err)
+			}
+			// A negative count would corrupt the merged total silently;
+			// reject it like any other unusable response.
+			if a.Execs < 0 {
+				return nil, fmt.Errorf("experiments: E15 aggregate with negative count")
+			}
+			return &a, nil
+		},
+		Finish: func(agg Aggregate) (*Table, error) {
+			a, ok := agg.(*alg2SweepAgg)
+			if !ok {
+				return nil, fmt.Errorf("experiments: E15 finish on %T", agg)
+			}
+			return finishE15(a)
+		},
+	}
+}

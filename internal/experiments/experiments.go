@@ -1,5 +1,5 @@
 // Package experiments regenerates every figure and theorem-level claim of
-// the paper (the E1..E14 experiment index of DESIGN.md): each experiment
+// the paper (the E1..E15 experiment index of DESIGN.md): each experiment
 // returns a printable table whose rows are the series the paper reports.
 //
 // The concurrent execution engine (Run) drives the registry on a bounded
@@ -36,7 +36,7 @@ import (
 
 // Table is one experiment's output.
 type Table struct {
-	// ID is the experiment id of DESIGN.md (E1..E14).
+	// ID is the experiment id of DESIGN.md (E1..E15).
 	ID string
 	// Title names the paper object reproduced.
 	Title   string
@@ -55,7 +55,7 @@ type Runner func() (*Table, error)
 // new or removed experiments, parameter sweeps, wording of titles,
 // headers, or notes — so stale cached tables are never served; old
 // entries simply stop matching and age out of the store.
-const RegistryVersion = "e1-e14/v1"
+const RegistryVersion = "e1-e15/v1"
 
 // Registry maps experiment ids to runners.
 func Registry() map[string]Runner {
@@ -74,6 +74,7 @@ func Registry() map[string]Runner {
 		"E12": Lemma22Convergence,
 		"E13": Theorem12Fast,
 		"E14": Lemma23Substrates,
+		"E15": Theorem12Exhaustive,
 	}
 }
 

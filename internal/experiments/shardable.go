@@ -50,13 +50,37 @@ type Shardable struct {
 	Finish func(agg Aggregate) (*Table, error)
 }
 
+// SliceCache is the artifact-store extension of Cache: a store that
+// holds slice aggregates (the ShardEnvelope wire form of one prefix
+// range's partial result) alongside whole results, keyed by
+// experiment id + canonical prefix set. internal/cache.Store
+// implements it; internal/server consults and populates it around
+// slice explorations, and internal/shard does per-range read-through
+// against it — the two halves that make a fleet a read-through cache
+// hierarchy. Callers holding a plain Cache type-assert for it, so a
+// store without slice support degrades to cold slices, never to an
+// error.
+type SliceCache interface {
+	Cache
+	// GetSlice returns the stored envelope for one slice. ok reports a
+	// usable hit; implementations must return ok == false (never a
+	// stale, corrupt, or wrong-generation envelope) otherwise. The
+	// prefixes string is the canonical FormatPrefixes rendering.
+	GetSlice(id, prefixes string) (ShardEnvelope, bool)
+	// PutSlice stores one slice's envelope. Implementations may refuse
+	// (incomplete or wrong-generation envelopes); callers treat errors
+	// as a skipped optimisation, never a failure.
+	PutSlice(env ShardEnvelope) error
+}
+
 // Shardables returns the prefix-shardable experiments by id — the
 // subset of Registry() whose exploration spaces split across a fleet.
 // internal/server serves their slices (GET /experiments/{id}?prefixes=)
 // and internal/shard carves, distributes, and merges them.
 func Shardables() map[string]Shardable {
 	return map[string]Shardable{
-		"E2": e2Shardable(),
+		"E2":  e2Shardable(),
+		"E15": e15Shardable(),
 	}
 }
 
@@ -159,20 +183,40 @@ type ShardEnvelope struct {
 	Aggregate       json.RawMessage `json:"aggregate"`
 }
 
-// EncodeShard writes the wire form of one slice's aggregate.
-func EncodeShard(w io.Writer, id string, roots [][]int, agg Aggregate) error {
+// NewShardEnvelope builds the wire envelope of one slice's aggregate
+// under the current registry generation — the value EncodeShard
+// writes, PutSlice stores, and the slice cache serves back.
+func NewShardEnvelope(id string, roots [][]int, agg Aggregate) (ShardEnvelope, error) {
 	raw, err := json.Marshal(agg)
 	if err != nil {
-		return err
+		return ShardEnvelope{}, err
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(ShardEnvelope{
+	return ShardEnvelope{
 		ID:              id,
 		RegistryVersion: RegistryVersion,
 		Prefixes:        FormatPrefixes(roots),
 		Aggregate:       raw,
-	})
+	}, nil
+}
+
+// EncodeShardEnvelope writes an envelope in the slice endpoint's wire
+// form. Because the encoder re-indents the raw aggregate bytes, a
+// cached envelope (stored compact) re-encodes byte-identically to a
+// freshly computed one — the invariant that lets the serving layer
+// answer slice requests straight from the store.
+func EncodeShardEnvelope(w io.Writer, env ShardEnvelope) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// EncodeShard writes the wire form of one slice's aggregate.
+func EncodeShard(w io.Writer, id string, roots [][]int, agg Aggregate) error {
+	env, err := NewShardEnvelope(id, roots, agg)
+	if err != nil {
+		return err
+	}
+	return EncodeShardEnvelope(w, env)
 }
 
 // DecodeShard reads one slice's wire envelope back. The aggregate

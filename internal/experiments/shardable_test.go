@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"reflect"
 	"testing"
 )
@@ -206,5 +207,119 @@ func TestAlg1SweepAggMergeGrouping(t *testing.T) {
 	}
 	if err := a.Merge(nil); err == nil {
 		t.Fatal("merging a nil aggregate accepted")
+	}
+}
+
+// TestE15ShardedMergeByteIdentical: the second real shardable
+// workload (the exhaustive Algorithm 2 validation sweep) renders the
+// same table whether explored whole or merged from wire-form slices.
+func TestE15ShardedMergeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration")
+	}
+	sh := Shardables()["E15"]
+	whole, err := Theorem12Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, err := sh.Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) < 4 {
+		t.Fatalf("E15 partition has %d roots, want enough to shard", len(roots))
+	}
+	cut := len(roots) / 3
+	var merged Aggregate
+	for _, rng := range [][][]int{roots[:cut], roots[cut:]} {
+		agg, err := sh.Explore(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeShard(&buf, "E15", rng, agg); err != nil {
+			t.Fatal(err)
+		}
+		env, err := DecodeShard(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := sh.Decode(env.Aggregate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged == nil {
+			merged = decoded
+			continue
+		}
+		if err := merged.Merge(decoded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, err := sh.Finish(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab, whole) {
+		t.Fatalf("sharded merge differs from whole run:\n%s\nvs\n%s", tab.Format(), whole.Format())
+	}
+}
+
+// TestAlg2SweepAggMerge: E15's aggregate folds identically under any
+// grouping, and its Decode rejects counts that would corrupt the
+// merged total.
+func TestAlg2SweepAggMerge(t *testing.T) {
+	a := &alg2SweepAgg{Execs: 2}
+	if err := a.Merge(&alg2SweepAgg{Execs: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Execs != 7 {
+		t.Fatalf("merged execs = %d", a.Execs)
+	}
+	if err := a.Merge(&alg1SweepAgg{}); err == nil {
+		t.Fatal("cross-type merge accepted")
+	}
+	sh := Shardables()["E15"]
+	if _, err := sh.Decode([]byte(`{"execs":3}`)); err != nil {
+		t.Fatalf("valid aggregate rejected: %v", err)
+	}
+	for _, bad := range []string{`{"execs":-1}`, `not json`} {
+		if _, err := sh.Decode([]byte(bad)); err == nil {
+			t.Errorf("Decode(%s) accepted", bad)
+		}
+	}
+}
+
+// TestShardEnvelopeCachedReencodeByteIdentical pins the invariant the
+// slice cache rests on: an envelope that round-trips through a
+// compact store form re-encodes to exactly the bytes of a fresh
+// EncodeShard.
+func TestShardEnvelopeCachedReencodeByteIdentical(t *testing.T) {
+	roots := [][]int{{0, 1}, {1}}
+	agg := &alg1SweepAgg{Execs: 4, Seen: []int{0, 9}, WorstNum: 1, MaxSteps: 11}
+	var fresh bytes.Buffer
+	if err := EncodeShard(&fresh, "E2", roots, agg); err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewShardEnvelope("E2", roots, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The store keeps the envelope compact (json.Marshal) and decodes
+	// it back before serving — simulate that round trip.
+	compact, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := DecodeShard(bytes.NewReader(compact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served bytes.Buffer
+	if err := EncodeShardEnvelope(&served, stored); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served.Bytes(), fresh.Bytes()) {
+		t.Fatalf("cached re-encode differs:\n%q\nvs\n%q", served.Bytes(), fresh.Bytes())
 	}
 }

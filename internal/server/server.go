@@ -54,7 +54,9 @@ type Options struct {
 	// experiments.Registry().
 	Registry map[string]experiments.Runner
 	// Cache, when non-nil, backs every execution (see
-	// experiments.Options.Cache).
+	// experiments.Options.Cache). When it is an artifact store
+	// (experiments.SliceCache), prefix-slice requests are served from
+	// and stored into it too.
 	Cache experiments.Cache
 	// Timeout bounds each experiment execution; 0 means
 	// DefaultTimeout, negative means no limit.
@@ -240,12 +242,24 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		r.URL.Path, format, status, res.Cached, shared, time.Since(start).Round(time.Millisecond))
 }
 
+// sliceOutcome is the singleflight value of one slice request: the
+// wire envelope, and whether it came from the artifact store.
+type sliceOutcome struct {
+	env    experiments.ShardEnvelope
+	cached bool
+}
+
 // handlePrefixes serves one slice of a shardable experiment's
 // exploration space: GET /experiments/{id}?prefixes=... parses the
 // forced-prefix ranges, explores exactly those subtrees, and responds
-// with the JSON shard envelope (experiments.EncodeShard). Identical
-// slice requests share one execution through the singleflight group,
-// and a timed-out slice starts the same cooldown as a timed-out
+// with the JSON shard envelope (experiments.EncodeShard). When the
+// cache is an artifact store (experiments.SliceCache), the store is
+// consulted first and populated after — repeated sharded runs of the
+// same space hit disk instead of re-exploring, the worker-level half
+// of the fleet's read-through cache hierarchy. Identical slice
+// requests share one execution through the singleflight group (keyed
+// by the canonical prefix rendering, so equivalent spellings share
+// too), and a timed-out slice starts the same cooldown as a timed-out
 // experiment: a coordinator retry (and any future run of the same
 // experiment) re-sends the byte-identical prefixes string, and
 // without the cooldown each retry would stack another abandoned
@@ -265,17 +279,18 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	canonical := experiments.FormatPrefixes(roots)
 
 	s.requests.Add(1)
 	s.inFlight.Add(1)
-	key := id + "\x00" + prefixes
+	key := id + "\x00" + canonical
 	var val any
 	var shared bool
 	if res, cooling := s.coolingDown(key); cooling {
 		err, shared = res.Err, true
 	} else {
 		val, err, shared = s.flights.Do(key, func() (any, error) {
-			return s.exploreSlice(sh, roots)
+			return s.sliceEnvelope(sh, id, canonical, roots)
 		})
 		if err != nil && !shared && errors.Is(err, context.DeadlineExceeded) {
 			s.startCooldown(key, experiments.Result{Err: err})
@@ -294,17 +309,47 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 		http.Error(w, err.Error(), status)
 		return
 	}
+	out := val.(sliceOutcome)
 
 	var body bytes.Buffer
-	if err := experiments.EncodeShard(&body, id, roots, val.(experiments.Aggregate)); err != nil {
+	if err := experiments.EncodeShardEnvelope(&body, out.env); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(RegistryVersionHeader, experiments.RegistryVersion)
 	w.Write(body.Bytes())
-	s.logf("figuresd: GET %s prefixes=%s roots=%d shared=%v in %v",
-		r.URL.Path, prefixes, len(roots), shared, time.Since(start).Round(time.Millisecond))
+	s.logf("figuresd: GET %s prefixes=%s roots=%d cached=%v shared=%v in %v",
+		r.URL.Path, canonical, len(roots), out.cached, shared, time.Since(start).Round(time.Millisecond))
+}
+
+// sliceEnvelope produces one slice's wire envelope: from the artifact
+// store when a trustworthy entry exists, by exploring otherwise (and
+// storing the fresh envelope back, best-effort). A stored envelope
+// whose aggregate the experiment's own Decode rejects is treated as a
+// miss and overwritten by the recomputation — the payload checksum
+// guards the bytes, Decode guards the semantics.
+func (s *Server) sliceEnvelope(sh experiments.Shardable, id, canonical string, roots [][]int) (sliceOutcome, error) {
+	store, _ := s.cache.(experiments.SliceCache)
+	if store != nil {
+		if env, ok := store.GetSlice(id, canonical); ok {
+			if _, err := sh.Decode(env.Aggregate); err == nil {
+				return sliceOutcome{env: env, cached: true}, nil
+			}
+		}
+	}
+	agg, err := s.exploreSlice(sh, roots)
+	if err != nil {
+		return sliceOutcome{}, err
+	}
+	env, err := experiments.NewShardEnvelope(id, roots, agg)
+	if err != nil {
+		return sliceOutcome{}, err
+	}
+	if store != nil {
+		store.PutSlice(env) // best-effort, like the engine's Put
+	}
+	return sliceOutcome{env: env}, nil
 }
 
 // sliceExploreSlots bounds concurrent slice explorations per server.

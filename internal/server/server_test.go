@@ -135,7 +135,7 @@ func TestIndexEndpoint(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("status = %d", status)
 	}
-	for _, want := range []string{experiments.RegistryVersion, `"E1"`, `"E14"`} {
+	for _, want := range []string{experiments.RegistryVersion, `"E1"`, `"E15"`} {
 		if !strings.Contains(body, want) {
 			t.Errorf("index missing %q:\n%s", want, body)
 		}

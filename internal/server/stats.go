@@ -34,13 +34,19 @@ type StatsResponse struct {
 	Experiments map[string]StatsExperiment `json:"experiments"`
 }
 
-// StatsCache mirrors cache.Stats on the wire.
+// StatsCache mirrors cache.Stats on the wire. The slice_* counters
+// track the artifact store's prefix-slice traffic (the worker-level
+// half of the fleet cache hierarchy); they stay zero on stores that
+// only ever see whole results.
 type StatsCache struct {
-	Hits    int64   `json:"hits"`
-	Misses  int64   `json:"misses"`
-	Corrupt int64   `json:"corrupt"`
-	Evicted int64   `json:"evicted"`
-	HitRate float64 `json:"hit_rate"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	SliceHits   int64   `json:"slice_hits"`
+	SliceMisses int64   `json:"slice_misses"`
+	SliceStores int64   `json:"slice_stores"`
+	Corrupt     int64   `json:"corrupt"`
+	Evicted     int64   `json:"evicted"`
+	HitRate     float64 `json:"hit_rate"`
 }
 
 // StatsExperiment is one experiment's request-latency record. Times
@@ -113,11 +119,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if cs, ok := s.cache.(interface{ Stats() cache.Stats }); ok {
 		st := cs.Stats()
 		resp.Cache = &StatsCache{
-			Hits:    st.Hits,
-			Misses:  st.Misses,
-			Corrupt: st.Corrupt,
-			Evicted: st.Evicted,
-			HitRate: st.HitRate(),
+			Hits:        st.Hits,
+			Misses:      st.Misses,
+			SliceHits:   st.SliceHits,
+			SliceMisses: st.SliceMisses,
+			SliceStores: st.SliceStores,
+			Corrupt:     st.Corrupt,
+			Evicted:     st.Evicted,
+			HitRate:     st.HitRate(),
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

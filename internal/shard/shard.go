@@ -48,6 +48,15 @@
 // theorem-scale space and still emits byte-identical tables. Ranges
 // inherit the failover rules above; a range whose attempts exhaust
 // the fleet is explored locally, reassigned but never dropped.
+//
+// With an artifact store (experiments.SliceCache) as Options.Local.
+// Cache, the coordinator is the top of a read-through cache
+// hierarchy: the whole result is consulted before carving, every
+// range is consulted before dispatch and stored back after it is
+// fetched or explored, and the merged whole is stored last — so a
+// repeated sharded run of the same space executes zero explorations
+// fleet-wide, and a partially warm store re-explores only the ranges
+// it is missing.
 package shard
 
 import (
@@ -162,6 +171,10 @@ type Stats struct {
 	// prefix-sharded experiments served by workers and explored
 	// locally (fleet exhausted for that range).
 	PrefixRangesRemote, PrefixRangesLocal int64
+	// PrefixRangesCached counts the ranges served straight from the
+	// coordinator's own artifact store without touching the fleet —
+	// the read-through half of the cache hierarchy.
+	PrefixRangesCached int64
 	// RangesReassigned counts prefix-range attempts that failed on one
 	// worker and were reassigned — the "never dropped" half of the
 	// failover contract.
@@ -217,6 +230,7 @@ type Coordinator struct {
 	localSem    chan struct{}
 	exploreSem  chan struct{}
 	shardables  map[string]experiments.Shardable
+	sliceCache  experiments.SliceCache
 	now         func() time.Time
 	logf        func(format string, args ...any)
 
@@ -227,6 +241,7 @@ type Coordinator struct {
 	prefixSharded    atomic.Int64
 	prefixRemote     atomic.Int64
 	prefixLocal      atomic.Int64
+	prefixCached     atomic.Int64
 	rangesReassigned atomic.Int64
 }
 
@@ -278,6 +293,9 @@ func New(opts Options) (*Coordinator, error) {
 	if now == nil {
 		now = time.Now
 	}
+	// A Local.Cache that is an artifact store makes every range
+	// read-through: consulted before dispatch, populated after.
+	sliceCache, _ := opts.Local.Cache.(experiments.SliceCache)
 	c := &Coordinator{
 		client:      client,
 		reqTimeout:  reqTimeout,
@@ -287,6 +305,7 @@ func New(opts Options) (*Coordinator, error) {
 		localSem:    make(chan struct{}, jobs),
 		exploreSem:  make(chan struct{}, 1),
 		shardables:  shardables,
+		sliceCache:  sliceCache,
 		now:         now,
 		logf:        logf,
 	}
@@ -461,11 +480,12 @@ func (c *Coordinator) RunOne(ctx context.Context, id string) (experiments.Result
 // runOne executes one experiment: prefix-sharded across the fleet
 // when the experiment is shardable and enough workers can take a
 // range, otherwise fetched whole with per-worker failover, finally
-// falling back to the local engine. Prefix slices bypass every
-// content-addressed store (their identity is id + prefix set, not
-// id), so the coordinator's own cache is consulted before carving —
-// a warm whole result must stay a microsecond hit, not become a
-// fleet-wide recompute — and a sharded success is stored back.
+// falling back to the local engine. The coordinator's own cache is
+// consulted before carving — a warm whole result must stay a
+// microsecond hit, not become a fleet-wide recompute — and a sharded
+// success is stored back; below that, runRange does the same
+// read-through per prefix range against the artifact store, so a
+// cold whole result over warm slices still executes nothing.
 func (c *Coordinator) runOne(ctx context.Context, id string) (experiments.Result, error) {
 	if sh, ok := c.shardables[id]; ok {
 		if cache := c.local.Cache; cache != nil {
@@ -607,13 +627,27 @@ func splitRanges(roots [][]int, n int) [][][]int {
 	return out
 }
 
-// runRange computes one prefix range's aggregate: up to c.retries
-// distinct workers with the whole-experiment failover rules (a
-// transport error evicts, an HTTP error only fails the attempt), then
-// the local explorer. Every failed attempt reassigns the range — it
-// is never dropped.
+// runRange computes one prefix range's aggregate. The coordinator's
+// own artifact store is consulted first (read-through: a range served
+// from disk never touches the fleet), then up to c.retries distinct
+// workers with the whole-experiment failover rules (a transport error
+// evicts, an HTTP error only fails the attempt), then the local
+// explorer. Every failed attempt reassigns the range — it is never
+// dropped — and every computed aggregate, remote or local, is stored
+// back so the next run of this space starts warm.
 func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Shardable, roots [][]int) (experiments.Aggregate, error) {
 	prefixes := experiments.FormatPrefixes(roots)
+	if c.sliceCache != nil {
+		if env, ok := c.sliceCache.GetSlice(id, prefixes); ok {
+			// The store vouches for the bytes (checksum, key match);
+			// Decode vouches for the semantics. A rejected aggregate
+			// falls through to a fetch, whose success overwrites it.
+			if agg, err := sh.Decode(env.Aggregate); err == nil {
+				c.prefixCached.Add(1)
+				return agg, nil
+			}
+		}
+	}
 	tried := make(map[*worker]bool)
 	for attempt := 0; attempt < c.retries; attempt++ {
 		w := c.pick(tried)
@@ -621,10 +655,11 @@ func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Sh
 			break // fleet exhausted for this range
 		}
 		tried[w] = true
-		agg, err := c.fetchSlice(ctx, w, id, sh, prefixes)
+		agg, env, err := c.fetchSlice(ctx, w, id, sh, prefixes)
 		w.inflight.Add(-1)
 		if err == nil {
 			c.prefixRemote.Add(1)
+			c.storeSlice(env)
 			return agg, nil
 		}
 		if ctx.Err() != nil {
@@ -650,19 +685,37 @@ func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Sh
 	}
 	c.prefixLocal.Add(1)
 	c.logf("shard: %s range %s explored locally", id, prefixes)
+	if env, err := experiments.NewShardEnvelope(id, roots, agg); err == nil {
+		c.storeSlice(env)
+	}
 	return agg, nil
+}
+
+// storeSlice writes one computed range back to the artifact store,
+// best-effort: caching is an optimisation, never a reason to fail a
+// range that was just computed successfully.
+func (c *Coordinator) storeSlice(env experiments.ShardEnvelope) {
+	if c.sliceCache == nil {
+		return
+	}
+	if err := c.sliceCache.PutSlice(env); err != nil {
+		c.logf("shard: storing slice %s %s: %v", env.ID, env.Prefixes, err)
+	}
 }
 
 // fetchSlice retrieves one prefix range's aggregate from one worker,
 // under the same in-flight cap, timeout, eviction, and revival rules
-// as a whole-experiment fetch. A worker serving a different
-// experiment generation (registry version) fails the attempt: its
-// numbers describe a different space.
-func (c *Coordinator) fetchSlice(ctx context.Context, w *worker, id string, sh experiments.Shardable, prefixes string) (experiments.Aggregate, error) {
+// as a whole-experiment fetch, returning the decoded aggregate and
+// the validated wire envelope (the form the artifact store keeps). A
+// worker serving a different experiment generation (registry version)
+// fails the attempt: its numbers describe a different space.
+func (c *Coordinator) fetchSlice(ctx context.Context, w *worker, id string, sh experiments.Shardable, prefixes string) (experiments.Aggregate, experiments.ShardEnvelope, error) {
 	var agg experiments.Aggregate
+	var env experiments.ShardEnvelope
 	path := "/experiments/" + url.PathEscape(id) + "?prefixes=" + url.QueryEscape(prefixes)
 	err := c.fetchWorker(ctx, w, path, func(body io.Reader) error {
-		env, err := experiments.DecodeShard(body)
+		var err error
+		env, err = experiments.DecodeShard(body)
 		if err != nil {
 			return err
 		}
@@ -675,7 +728,7 @@ func (c *Coordinator) fetchSlice(ctx context.Context, w *worker, id string, sh e
 		agg, err = sh.Decode(env.Aggregate)
 		return err
 	})
-	return agg, err
+	return agg, env, err
 }
 
 // pick returns the selectable, untried worker with the lowest load,
@@ -798,6 +851,7 @@ func (c *Coordinator) Stats() Stats {
 		PrefixSharded:      c.prefixSharded.Load(),
 		PrefixRangesRemote: c.prefixRemote.Load(),
 		PrefixRangesLocal:  c.prefixLocal.Load(),
+		PrefixRangesCached: c.prefixCached.Load(),
 		RangesReassigned:   c.rangesReassigned.Load(),
 	}
 	for _, w := range c.workers {
