@@ -1,7 +1,7 @@
 # Makefile — the commands CI runs are exactly the commands humans run.
 GO ?= go
 
-.PHONY: build test test-short bench bench-json lint figures cover fuzz-smoke
+.PHONY: build test test-short bench bench-json lint figures cover fuzz-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,14 @@ lint:
 cover:
 	$(GO) test -short -cover -coverprofile=cover.out ./internal/sched ./internal/shard ./internal/cache
 	$(GO) tool cover -func=cover.out | tail -1
+
+# load-smoke boots a two-worker figuresd fleet and drives a short
+# mixed whole/slice load through `figures load`, writing
+# BENCH_load.json and asserting zero errors and per-endpoint
+# p50/p95/p99 on /stats — the latency-trajectory gate CI runs on
+# every push.
+load-smoke:
+	./scripts/load-smoke.sh
 
 # fuzz-smoke runs each fuzz target briefly: arbitrary bytes must never
 # panic the results decoder or the cache read path.

@@ -8,6 +8,15 @@
 //	figures [-run E3,E7] [-jobs N] [-format text|json|csv] [-timeout D]
 //	        [-cache-dir DIR] [-no-cache] [-workers HOSTS] [-o FILE]
 //	        [-list] [-v]
+//	figures load -addr HOSTS [-qps N] [-duration D] [-warmup D]
+//	        [-mix whole:3,slice:1] [-experiments E1,E2,E15] [-o FILE]
+//
+// The load subcommand is the load harness (internal/load): it drives
+// a figuresd fleet with a mixed whole-experiment / prefix-slice
+// workload at a target QPS and emits a machine-readable latency
+// summary (BENCH_load.json) — achieved QPS, per-kind p50/p95/p99
+// client-side, per-endpoint distributions and cache hit rates scraped
+// from each worker's /stats.
 //
 // The output of -jobs N is byte-identical to -jobs 1 for every format:
 // parallelism changes wall-clock time only. With -cache-dir, results
@@ -59,6 +68,12 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
+	// Subcommand dispatch: `figures load` is the load harness; bare
+	// `figures` keeps its original flag surface (no subcommand needed
+	// for the common path).
+	if len(args) > 0 && args[0] == "load" {
+		return runLoad(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -229,6 +244,15 @@ func runSharded(fleet, ids []string, opts experiments.Options, stderr io.Writer,
 	if st.PrefixSharded > 0 {
 		fmt.Fprintf(stderr, "figures: shard %d prefix-sharded (%d ranges remote, %d local, %d cached, %d reassigned)\n",
 			st.PrefixSharded, st.PrefixRangesRemote, st.PrefixRangesLocal, st.PrefixRangesCached, st.RangesReassigned)
+	}
+	if verbose {
+		for _, w := range st.Workers {
+			if w.Fetches == 0 {
+				continue
+			}
+			fmt.Fprintf(stderr, "figures: shard worker %s: %d fetches, %d errors, p50 %.1fms p95 %.1fms\n",
+				w.Addr, w.Fetches, w.Errors, w.Latency.P50Millis, w.Latency.P95Millis)
+		}
 	}
 	return results, nil
 }

@@ -212,4 +212,16 @@ func TestPrefixSliceCountsInStats(t *testing.T) {
 	if st.Experiments["S1"].Count != 1 {
 		t.Fatalf("experiments stats = %+v", st.Experiments)
 	}
+	// Slice traffic lands on the slice endpoint's histogram, not the
+	// whole-experiment one.
+	ep, ok := st.Endpoints[EndpointSlice]
+	if !ok || ep.Count != 1 {
+		t.Fatalf("endpoints = %+v, want a %q entry with count 1", st.Endpoints, EndpointSlice)
+	}
+	if ep.P50Millis < 0 || ep.P99Millis < ep.P50Millis {
+		t.Fatalf("slice endpoint quantiles = %+v", ep)
+	}
+	if _, ok := st.Endpoints[EndpointExperiment]; ok {
+		t.Fatalf("experiment endpoint reported without whole-table traffic: %+v", st.Endpoints)
+	}
 }

@@ -2,9 +2,10 @@
 // cmd/figuresd mounts it as a daemon. It serves the experiment index,
 // individual experiment tables in every encoder format, a health
 // probe, and an operational /stats snapshot (cache hit/miss/eviction
-// counters, per-experiment latency, in-flight count — the load signal
-// internal/shard ranks workers by), with three protections a CLI run
-// does not need:
+// counters, per-experiment latency with full log-bucket histograms,
+// per-endpoint p50/p95/p99 — the distributions internal/load's
+// harness measures against — and the in-flight count internal/shard
+// ranks workers by), with three protections a CLI run does not need:
 //
 //   - singleflight deduplication: N concurrent requests for a cold
 //     experiment trigger exactly one execution, and all N responses
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/hist"
 	"repro/internal/sched"
 )
 
@@ -111,6 +113,10 @@ type Server struct {
 	requests atomic.Int64
 	statsMu  sync.Mutex
 	perExp   map[string]*expStat
+	// endpointLat holds the per-endpoint latency histograms (fixed
+	// key set, built at New): recording is lock-free on the request
+	// path, /stats snapshots them.
+	endpointLat map[string]*hist.Histogram
 }
 
 // New builds a server over the given registry and cache.
@@ -148,6 +154,10 @@ func New(opts Options) *Server {
 		mux:        http.NewServeMux(),
 		cooldowns:  make(map[string]cooldownEntry),
 		perExp:     make(map[string]*expStat),
+		endpointLat: map[string]*hist.Histogram{
+			EndpointExperiment: hist.New(),
+			EndpointSlice:      hist.New(),
+		},
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /experiments", s.handleIndex)
@@ -214,7 +224,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	res, shared, err := s.execute(id)
 	s.inFlight.Add(-1)
-	s.record(id, time.Since(start), err != nil || res.Err != nil)
+	s.record(EndpointExperiment, id, time.Since(start), err != nil || res.Err != nil)
 	if err != nil {
 		// Engine configuration errors only; the id was validated, so
 		// this is a server bug rather than a client mistake.
@@ -297,7 +307,7 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 		}
 	}
 	s.inFlight.Add(-1)
-	s.record(id, time.Since(start), err != nil)
+	s.record(EndpointSlice, id, time.Since(start), err != nil)
 	if err != nil {
 		// A prefix the scheduler cannot follow is the client's
 		// mistake, not the server's: ParsePrefixes can only check

@@ -7,6 +7,21 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/hist"
+)
+
+// Endpoint labels for the per-endpoint latency histograms: the two
+// serving paths whose latency distributions matter under load. The
+// same labels key StatsResponse.Endpoints and the load harness's
+// client-side histograms, so server- and client-side distributions
+// line up by name.
+const (
+	// EndpointExperiment is a whole-experiment fetch:
+	// GET /experiments/{id}[?format=...].
+	EndpointExperiment = "experiment"
+	// EndpointSlice is a prefix-slice fetch:
+	// GET /experiments/{id}?prefixes=...
+	EndpointSlice = "slice"
 )
 
 // StatsResponse is the GET /stats body: one process's operational
@@ -32,6 +47,12 @@ type StatsResponse struct {
 	// Experiments holds per-experiment latency counters, keyed by id;
 	// an experiment never requested has no entry.
 	Experiments map[string]StatsExperiment `json:"experiments"`
+	// Endpoints holds per-endpoint latency histograms
+	// (EndpointExperiment, EndpointSlice), keyed by endpoint label; an
+	// endpoint never hit has no entry. Quantiles follow internal/hist's
+	// contract: bucket upper bounds, overshooting the true value by at
+	// most hist.Growth (≈18.9%).
+	Endpoints map[string]hist.Snapshot `json:"endpoints"`
 }
 
 // StatsCache mirrors cache.Stats on the wire. The slice_* counters
@@ -59,16 +80,26 @@ type StatsExperiment struct {
 	TotalMillis float64 `json:"total_ms"`
 	MaxMillis   float64 `json:"max_ms"`
 	LastMillis  float64 `json:"last_ms"`
+	// Histogram is the experiment's full latency distribution. The
+	// count/total/max fields above predate it and keep their exact
+	// wire form; the histogram is additive, so existing consumers
+	// (the shard coordinator's probe, old dashboards) parse unchanged.
+	Histogram *hist.Snapshot `json:"histogram,omitempty"`
 }
 
 // expStat is the internal accumulator behind StatsExperiment.
 type expStat struct {
 	count, errors    int64
 	total, max, last time.Duration
+	lat              hist.Histogram
 }
 
-// record folds one served experiment request into the counters.
-func (s *Server) record(id string, d time.Duration, failed bool) {
+// record folds one served experiment request into the counters: the
+// per-experiment accumulator and the per-endpoint histogram.
+func (s *Server) record(endpoint, id string, d time.Duration, failed bool) {
+	if h := s.endpointLat[endpoint]; h != nil {
+		h.Record(d)
+	}
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	st := s.perExp[id]
@@ -85,6 +116,7 @@ func (s *Server) record(id string, d time.Duration, failed bool) {
 	if d > st.max {
 		st.max = d
 	}
+	st.lat.Record(d)
 }
 
 func millis(d time.Duration) float64 {
@@ -96,13 +128,28 @@ func (s *Server) experimentStats() map[string]StatsExperiment {
 	defer s.statsMu.Unlock()
 	out := make(map[string]StatsExperiment, len(s.perExp))
 	for id, st := range s.perExp {
+		snap := st.lat.Snapshot()
 		out[id] = StatsExperiment{
 			Count:       st.count,
 			Errors:      st.errors,
 			TotalMillis: millis(st.total),
 			MaxMillis:   millis(st.max),
 			LastMillis:  millis(st.last),
+			Histogram:   &snap,
 		}
+	}
+	return out
+}
+
+// endpointStats snapshots the per-endpoint histograms, dropping
+// endpoints that never saw a request.
+func (s *Server) endpointStats() map[string]hist.Snapshot {
+	out := make(map[string]hist.Snapshot, len(s.endpointLat))
+	for name, h := range s.endpointLat {
+		if h.Count() == 0 {
+			continue
+		}
+		out[name] = h.Snapshot()
 	}
 	return out
 }
@@ -113,6 +160,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:        s.inFlight.Load(),
 		Requests:        s.requests.Load(),
 		Experiments:     s.experimentStats(),
+		Endpoints:       s.endpointStats(),
 	}
 	// The engine-facing cache interface has no counters; only stores
 	// that report them (internal/cache.Store) appear in the response.

@@ -94,6 +94,33 @@ func TestStatsCountersAndCache(t *testing.T) {
 	if e1.MaxMillis > e1.TotalMillis {
 		t.Errorf("E1 max %v exceeds total %v", e1.MaxMillis, e1.TotalMillis)
 	}
+	// The histogram block rides alongside the legacy count/total/max
+	// fields and must agree with them.
+	if e1.Histogram == nil {
+		t.Fatal("E1 histogram block missing")
+	}
+	if e1.Histogram.Count != e1.Count {
+		t.Errorf("histogram count %d != field count %d", e1.Histogram.Count, e1.Count)
+	}
+	if e1.Histogram.P50Millis <= 0 || e1.Histogram.P95Millis < e1.Histogram.P50Millis ||
+		e1.Histogram.P99Millis < e1.Histogram.P95Millis {
+		t.Errorf("histogram quantiles out of order: %+v", e1.Histogram)
+	}
+	if len(e1.Histogram.Buckets) == 0 {
+		t.Errorf("histogram has no buckets: %+v", e1.Histogram)
+	}
+	// The whole-experiment endpoint saw both requests; the slice
+	// endpoint saw none and is omitted rather than reported empty.
+	ep, ok := st.Endpoints[EndpointExperiment]
+	if !ok {
+		t.Fatalf("endpoints = %+v, want an %q entry", st.Endpoints, EndpointExperiment)
+	}
+	if ep.Count != 2 || ep.P50Millis <= 0 || ep.P95Millis <= 0 || ep.P99Millis <= 0 {
+		t.Errorf("experiment endpoint = %+v, want count 2 and positive quantiles", ep)
+	}
+	if _, ok := st.Endpoints[EndpointSlice]; ok {
+		t.Errorf("slice endpoint reported without slice traffic: %+v", st.Endpoints)
+	}
 }
 
 // TestStatsErrorsCounted: a failing experiment increments its error

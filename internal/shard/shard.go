@@ -74,6 +74,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/hist"
 	"repro/internal/server"
 )
 
@@ -179,6 +180,25 @@ type Stats struct {
 	// worker and were reassigned — the "never dropped" half of the
 	// failover contract.
 	RangesReassigned int64
+	// Workers holds one per-worker record, in configuration order —
+	// the coordinator-side fetch-latency distributions that separate a
+	// slow worker from a slow fleet.
+	Workers []WorkerStats
+}
+
+// WorkerStats is one worker's coordinator-side record: every attempt
+// through the shared fetch path (whole experiments and prefix slices
+// alike, failures included) lands in the latency histogram, so a
+// worker that fails fast looks exactly as suspicious as it is.
+type WorkerStats struct {
+	Addr    string
+	Healthy bool
+	// Fetches counts attempts sent to this worker; Errors the ones
+	// that failed (transport, HTTP status, or decode).
+	Fetches, Errors int64
+	// Latency is the fetch-latency distribution as the coordinator
+	// observed it — request start to body decoded.
+	Latency hist.Snapshot
 }
 
 // worker is one fleet member and its load accounting.
@@ -188,6 +208,9 @@ type worker struct {
 	inflight atomic.Int64  // the coordinator's own in-flight count
 	healthy  atomic.Bool
 	retryAt  atomic.Int64 // unix nanos after which eviction may be re-tried
+	lat      hist.Histogram
+	fetches  atomic.Int64
+	errors   atomic.Int64
 
 	// baseline is the worker's /stats in-flight count at probe time
 	// (load from clients this coordinator cannot see), counted toward
@@ -770,6 +793,23 @@ func (c *Coordinator) fetchWorker(ctx context.Context, w *worker, pathAndQuery s
 		return ctx.Err()
 	}
 	defer func() { <-w.sem }()
+	// The latency record spans request start to body decoded — queue
+	// time on the worker's semaphore excluded, because that measures
+	// this coordinator's cap, not the worker. Failures are recorded
+	// too: a worker failing fast must not look fast and healthy.
+	start := time.Now()
+	w.fetches.Add(1)
+	err := c.fetchWorkerLocked(ctx, w, pathAndQuery, decode)
+	w.lat.Record(time.Since(start))
+	if err != nil {
+		w.errors.Add(1)
+	}
+	return err
+}
+
+// fetchWorkerLocked is fetchWorker's body, split out so the latency
+// and error accounting wraps every return path exactly once.
+func (c *Coordinator) fetchWorkerLocked(ctx context.Context, w *worker, pathAndQuery string, decode func(io.Reader) error) error {
 	ctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+pathAndQuery, nil)
@@ -858,6 +898,13 @@ func (c *Coordinator) Stats() Stats {
 		if w.healthy.Load() {
 			st.WorkersHealthy++
 		}
+		st.Workers = append(st.Workers, WorkerStats{
+			Addr:    w.base,
+			Healthy: w.healthy.Load(),
+			Fetches: w.fetches.Load(),
+			Errors:  w.errors.Load(),
+			Latency: w.lat.Snapshot(),
+		})
 	}
 	return st
 }

@@ -125,6 +125,28 @@ func TestShardedRunByteIdentical(t *testing.T) {
 	if st.WorkersHealthy != 2 || st.Remote != int64(len(ids)) || st.Local != 0 {
 		t.Errorf("stats = %+v", st)
 	}
+	// Per-worker fetch accounting: every attempt landed on some worker,
+	// none failed, and each worker's latency histogram saw exactly its
+	// fetches.
+	if len(st.Workers) != 2 {
+		t.Fatalf("worker stats = %+v, want 2 entries", st.Workers)
+	}
+	var fetches int64
+	for _, w := range st.Workers {
+		fetches += w.Fetches
+		if w.Errors != 0 {
+			t.Errorf("worker %s: %d fetch errors on a healthy fleet", w.Addr, w.Errors)
+		}
+		if w.Latency.Count != w.Fetches {
+			t.Errorf("worker %s: histogram count %d != fetches %d", w.Addr, w.Latency.Count, w.Fetches)
+		}
+		if w.Fetches > 0 && w.Latency.P95Millis < w.Latency.P50Millis {
+			t.Errorf("worker %s: quantiles out of order: %+v", w.Addr, w.Latency)
+		}
+	}
+	if fetches != int64(len(ids)) {
+		t.Errorf("fleet fetch total = %d, want %d", fetches, len(ids))
+	}
 }
 
 // TestServerErrorFailsOver: a worker that answers 500 to every
@@ -172,6 +194,17 @@ func TestServerErrorFailsOver(t *testing.T) {
 	// worker must still count as healthy (it answered).
 	if st.WorkersHealthy != 2 {
 		t.Errorf("healthy = %d, want 2 (500s must not mark a worker dead)", st.WorkersHealthy)
+	}
+	// The broken worker's failures are on its record — fetches,
+	// errors, and latency observations alike — so a fast-failing
+	// worker is visibly failing, not suspiciously idle.
+	for _, w := range st.Workers {
+		if w.Addr != broken.URL {
+			continue
+		}
+		if w.Fetches == 0 || w.Errors != w.Fetches || w.Latency.Count != w.Fetches {
+			t.Errorf("broken worker record = %+v, want every fetch errored and recorded", w)
+		}
 	}
 }
 

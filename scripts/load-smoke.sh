@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# load-smoke: boot a two-worker figuresd fleet and drive a short mixed
+# whole/slice load through it with `figures load`, writing the
+# machine-readable summary to BENCH_load.json and asserting the run
+# was healthy: zero errors, non-zero achieved QPS, sane client-side
+# quantiles, and per-endpoint p50/p95/p99 on the workers' /stats.
+# CI runs exactly this via `make load-smoke`; humans run it the same
+# way. Knobs (all optional): PORT1/PORT2, QPS, DURATION, WARMUP, OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT1=${PORT1:-8241}
+PORT2=${PORT2:-8242}
+OUT=${OUT:-BENCH_load.json}
+QPS=${QPS:-40}
+DURATION=${DURATION:-5s}
+WARMUP=${WARMUP:-2s}
+
+tmp=$(mktemp -d)
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "load-smoke: FAILED (exit $status); worker logs:" >&2
+    tail -5 "$tmp"/worker*.log >&2 2>/dev/null || true
+  fi
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$tmp"
+  exit "$status"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/figuresd" ./cmd/figuresd
+go build -o "$tmp/figures" ./cmd/figures
+
+# Each worker gets its own artifact cache so the warmup phase warms
+# them and the measured phase exercises the read path.
+"$tmp/figuresd" -addr "localhost:$PORT1" -cache-dir "$tmp/cache1" > "$tmp/worker1.log" 2>&1 &
+"$tmp/figuresd" -addr "localhost:$PORT2" -cache-dir "$tmp/cache2" > "$tmp/worker2.log" 2>&1 &
+for port in "$PORT1" "$PORT2"; do
+  for _ in $(seq 1 50); do
+    curl -fs "http://localhost:$port/healthz" > /dev/null && break
+    sleep 0.2
+  done
+  curl -fs "http://localhost:$port/healthz" > /dev/null
+done
+
+"$tmp/figures" load -addr "localhost:$PORT1,localhost:$PORT2" \
+  -qps "$QPS" -duration "$DURATION" -warmup "$WARMUP" \
+  -mix whole:3,slice:1 -experiments E1,E7,E2 -o "$OUT"
+
+# The run was healthy…
+jq -e '.errors == 0' "$OUT" > /dev/null
+jq -e '.achieved_qps > 0' "$OUT" > /dev/null
+jq -e '.requests > 0' "$OUT" > /dev/null
+# …both traffic kinds flowed with ordered client-side quantiles…
+jq -e '.kinds.whole.latency.p50_ms > 0 and
+       .kinds.whole.latency.p95_ms >= .kinds.whole.latency.p50_ms and
+       .kinds.whole.latency.p99_ms >= .kinds.whole.latency.p95_ms' "$OUT" > /dev/null
+jq -e '.kinds.slice.requests > 0' "$OUT" > /dev/null
+# …and the servers expose per-endpoint p50/p95/p99 on /stats.
+for port in "$PORT1" "$PORT2"; do
+  curl -fs "http://localhost:$port/stats" | jq -e \
+    '.endpoints.experiment.p50_ms > 0 and
+     .endpoints.experiment.p95_ms > 0 and
+     .endpoints.experiment.p99_ms > 0 and
+     .endpoints.slice.count > 0' > /dev/null
+done
+
+echo "load-smoke: OK ($(jq -r '.requests' "$OUT") requests," \
+  "$(jq -r '.achieved_qps | round' "$OUT") qps achieved, 0 errors) -> $OUT"
