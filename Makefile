@@ -30,12 +30,13 @@ lint:
 	fi
 	$(GO) vet ./...
 
-# cover reports internal/sched + internal/shard + internal/cache
-# coverage — the packages the prefix-sharding protocol and the
-# artifact-cache hierarchy live in. CI enforces a floor on the
-# combined total.
+# cover reports internal/sched + internal/shard + internal/cache +
+# internal/hist + internal/trace coverage — the packages the
+# prefix-sharding protocol, the artifact-cache hierarchy, and the
+# latency/tracing observability layer live in. CI enforces a floor on
+# the combined total.
 cover:
-	$(GO) test -short -cover -coverprofile=cover.out ./internal/sched ./internal/shard ./internal/cache
+	$(GO) test -short -cover -coverprofile=cover.out ./internal/sched ./internal/shard ./internal/cache ./internal/hist ./internal/trace
 	$(GO) tool cover -func=cover.out | tail -1
 
 # load-smoke boots a two-worker figuresd fleet and drives a short

@@ -10,6 +10,7 @@
 //	        [-list] [-v]
 //	figures load -addr HOSTS [-qps N] [-duration D] [-warmup D]
 //	        [-mix whole:3,slice:1] [-experiments E1,E2,E15] [-o FILE]
+//	figures trace -addr HOSTS [-timeout D] REQUEST_ID
 //
 // The load subcommand is the load harness (internal/load): it drives
 // a figuresd fleet with a mixed whole-experiment / prefix-slice
@@ -38,6 +39,17 @@
 // a read-through cache hierarchy: each range is consulted in the
 // store before it is dispatched and stored back after, so a repeated
 // sharded run of the same space executes zero explorations anywhere.
+//
+// -trace turns on per-request span journaling (internal/trace) for
+// sharded runs: every run gets a request ID, the coordinator journals
+// each carve/selection/fetch/retry/cache decision under it, the same
+// ID travels to the workers in the Repro-Request-ID header, and the
+// run ends with one `figures: trace <id> run <exp>` line per request
+// plus the coordinator's timeline on stderr. The trace subcommand
+// completes the picture after the fact: it fetches that ID's span
+// from each listed worker's /trace/{id} endpoint and renders the
+// merged timeline with per-range duration bars, worker assignments,
+// cache outcomes, and retry counts.
 // The process exits non-zero when any experiment in the run fails,
 // even though the failed row is still encoded in the output.
 package main
@@ -54,6 +66,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // testRegistry overrides the experiment registry in tests (to count
@@ -74,6 +87,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) > 0 && args[0] == "load" {
 		return runLoad(args[1:], stdout, stderr)
 	}
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -84,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cacheDir = fs.String("cache-dir", "", "cache experiment results in this directory")
 		noCache  = fs.Bool("no-cache", false, "ignore -cache-dir and run everything fresh")
 		workers  = fs.String("workers", "", "comma-separated figuresd workers (host:port) to fan the run out to; unreachable workers fall back to local execution, which -jobs governs")
+		traceOn  = fs.Bool("trace", false, "journal per-request spans on sharded runs and print each request's trace id and timeline on stderr (requires -workers)")
 		outFile  = fs.String("o", "", "write output to this file instead of stdout")
 		list     = fs.Bool("list", false, "list experiment ids and exit")
 		verbose  = fs.Bool("v", false, "report per-experiment timing on stderr")
@@ -105,6 +122,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	encode, err := experiments.LookupEncoder(*format)
 	if err != nil {
 		return err
+	}
+
+	// Local runs have no remote decisions to journal; a silent no-op
+	// -trace would read as "nothing happened", so reject it instead.
+	if *traceOn && *workers == "" {
+		return fmt.Errorf("-trace requires -workers (spans journal the coordinator's fleet decisions)")
 	}
 
 	var ids []string
@@ -156,7 +179,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	start := time.Now()
 	var results []experiments.Result
 	if *workers != "" {
-		results, err = runSharded(shard.SplitList(*workers), ids, opts, stderr, *verbose)
+		results, err = runSharded(shard.SplitList(*workers), ids, opts, stderr, *verbose, *traceOn)
 	} else {
 		results, err = experiments.Run(context.Background(), opts)
 	}
@@ -211,7 +234,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 // runSharded fans the run out across a figuresd fleet via the shard
 // coordinator, reporting the fleet summary on stderr. opts carries the
 // local-fallback engine configuration (registry, cache, timeout, jobs).
-func runSharded(fleet, ids []string, opts experiments.Options, stderr io.Writer, verbose bool) ([]experiments.Result, error) {
+// With traceOn, a span journal is threaded into the coordinator and
+// each request's ID and timeline are reported after the run.
+func runSharded(fleet, ids []string, opts experiments.Options, stderr io.Writer, verbose, traceOn bool) ([]experiments.Result, error) {
 	var logf func(format string, args ...any)
 	if verbose {
 		logf = func(format string, args ...any) {
@@ -225,11 +250,16 @@ func runSharded(fleet, ids []string, opts experiments.Options, stderr io.Writer,
 	if opts.Timeout > 0 {
 		reqTimeout = opts.Timeout + 30*time.Second
 	}
+	var journal *trace.Journal
+	if traceOn {
+		journal = trace.NewJournal(0, 0)
+	}
 	coord, err := shard.New(shard.Options{
 		Workers:        fleet,
 		RequestTimeout: reqTimeout,
 		Local:          opts,
 		Logf:           logf,
+		Journal:        journal,
 	})
 	if err != nil {
 		return nil, err
@@ -237,6 +267,16 @@ func runSharded(fleet, ids []string, opts experiments.Options, stderr io.Writer,
 	results, err := coord.Run(context.Background(), ids)
 	if err != nil {
 		return nil, err
+	}
+	if journal != nil {
+		// One line per request in grep-friendly form (CI keys on the
+		// "figures: trace <id>" prefix), then the coordinator's own
+		// timeline; `figures trace -addr <fleet> <id>` adds the
+		// workers' halves of the same span afterwards.
+		for _, tr := range journal.Traces() {
+			fmt.Fprintf(stderr, "figures: trace %s %s\n", tr.ID, tr.What)
+			renderTimeline(stderr, []sourcedTrace{{tr: tr}})
+		}
 	}
 	st := coord.Stats()
 	fmt.Fprintf(stderr, "figures: shard %d/%d workers healthy, %d remote, %d local\n",

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	figuresd [-addr host:port] [-cache-dir DIR] [-timeout D] [-grace D]
-//	         [-peers host1:port,host2:port]
+//	         [-peers host1:port,host2:port] [-debug-addr host:port]
 //
 // Endpoints:
 //
@@ -14,6 +14,8 @@
 //	GET /experiments/{id}?format=text|json|csv    one experiment's table
 //	GET /healthz                                  liveness probe
 //	GET /stats                                    operational counters
+//	GET /metrics                                  Prometheus text exposition
+//	GET /trace/{id}                               one request's span journal
 //
 // Concurrent requests for the same cold experiment are deduplicated to
 // a single execution; with -cache-dir, results persist across restarts
@@ -31,6 +33,13 @@
 // cache before it is dispatched and stored back after, so the fleet
 // is a read-through cache hierarchy — and falls back to running
 // locally when the fleet cannot serve.
+//
+// Every request carries a Repro-Request-ID (minted here when the
+// client sent none) under which the serving layer — and, with -peers,
+// the shard coordinator sharing the same journal — records its span;
+// GET /trace/{id} plays it back. -debug-addr serves net/http/pprof on
+// a second listener so profiling never shares a port (or an exposure
+// decision) with the experiment API.
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only by -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +61,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // testRegistry overrides the experiment registry in tests; nil
@@ -73,6 +84,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		timeout  = fs.Duration("timeout", server.DefaultTimeout, "per-experiment execution limit (0 = none)")
 		grace    = fs.Duration("grace", 5*time.Second, "graceful-shutdown window")
 		peers    = fs.String("peers", "", "comma-separated figuresd peers (host:port) to fan experiment execution out to; this daemon fronts the fleet and falls back to local execution")
+		debug    = fs.String("debug-addr", "", "serve net/http/pprof on this second listener (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -85,6 +97,23 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	srv, err := newHandler(*cacheDir, *peers, *timeout, logger.Printf)
 	if err != nil {
 		return err
+	}
+
+	if *debug != "" {
+		// pprof stays on its own listener: net/http/pprof registers on
+		// the default mux, which the experiment API never serves, so
+		// profiling exposure is a separate bind decision entirely.
+		dl, err := net.Listen("tcp", *debug)
+		if err != nil {
+			return err
+		}
+		defer dl.Close()
+		go func() {
+			if err := http.Serve(dl, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Printf("figuresd: pprof server: %v", err)
+			}
+		}()
+		logger.Printf("figuresd: pprof on http://%s/debug/pprof/", dl.Addr())
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -118,11 +147,16 @@ func newHandler(cacheDir, peers string, timeout time.Duration, logf func(format 
 	if execTimeout == 0 {
 		execTimeout = -1
 	}
+	// One journal spans both layers: the serving edge mints (or adopts)
+	// the request ID, the coordinator journals its fleet decisions
+	// under the same ID, and /trace/{id} plays back the whole span.
+	journal := trace.NewJournal(0, 0)
 	opts := server.Options{
 		Registry: testRegistry,
 		Cache:    store,
 		Timeout:  execTimeout,
 		Logf:     logf,
+		Journal:  journal,
 	}
 	if peers != "" {
 		// A -timeout above the remote-fetch default must reach the
@@ -139,7 +173,8 @@ func newHandler(cacheDir, peers string, timeout time.Duration, logf func(format 
 				Cache:    store,
 				Timeout:  timeout,
 			},
-			Logf: logf,
+			Logf:    logf,
+			Journal: journal,
 		})
 		if err != nil {
 			return nil, err

@@ -9,12 +9,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func TestRunBadFlags(t *testing.T) {
@@ -191,5 +193,130 @@ func TestPeersDeadFleetFallsBackLocal(t *testing.T) {
 	}
 	if n := frontExecs.Load(); n != 1 {
 		t.Errorf("front executed %d runners, want 1 (local fallback)", n)
+	}
+}
+
+// TestFrontDoorTraceSpansBothLayers: one front-door request leaves a
+// single span holding the serving layer's request/done events and the
+// shard coordinator's fleet decisions, retrievable via /trace/{id} on
+// the front door — the shared-journal wiring of newHandler.
+func TestFrontDoorTraceSpansBothLayers(t *testing.T) {
+	var peerExecs, frontExecs atomic.Int64
+	peer := httptest.NewServer(server.New(server.Options{Registry: syntheticRegistry("E1", &peerExecs)}))
+	defer peer.Close()
+
+	testRegistry = syntheticRegistry("E1", &frontExecs)
+	defer func() { testRegistry = nil }()
+
+	handler, err := newHandler("", strings.TrimPrefix(peer.URL, "http://"), 0, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(handler)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/experiments/E1?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	reqID := resp.Header.Get(trace.Header)
+	if reqID == "" {
+		t.Fatal("front door echoed no request ID")
+	}
+
+	tr, err := http.Get(front.URL + "/trace/" + reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, err := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("/trace/%s = %d %q", reqID, tr.StatusCode, span)
+	}
+	for _, kind := range []string{trace.KindRequest, trace.KindWorkerSelected, trace.KindFetch, trace.KindDone} {
+		if !strings.Contains(string(span), `"`+kind+`"`) {
+			t.Errorf("span missing %s event:\n%s", kind, span)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the
+// daemon's log output while the test reads it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDebugAddrServesPprof boots the daemon with -debug-addr on an
+// ephemeral port, reads the bound addresses from the log, and checks
+// that the profiling index answers there — and only there, not on the
+// API listener.
+func TestDebugAddrServesPprof(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var logs syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-grace", "2s"}, &logs)
+	}()
+
+	extract := func(marker string) string {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			for _, line := range strings.Split(logs.String(), "\n") {
+				if i := strings.Index(line, marker); i >= 0 {
+					rest := line[i+len(marker):]
+					return strings.TrimSuffix(strings.Fields(rest)[0], "/debug/pprof/")
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("no %q line in logs:\n%s", marker, logs.String())
+		return ""
+	}
+	debugURL := extract("pprof on ")
+	apiURL := extract("serving on ")
+
+	resp, err := http.Get(debugURL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "profile") {
+		t.Fatalf("pprof index = %d %q", resp.StatusCode, body)
+	}
+	if resp, err := http.Get(apiURL + "/debug/pprof/"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Error("API listener serves /debug/pprof/ — profiling leaked onto the experiment port")
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
 	}
 }

@@ -128,11 +128,19 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// Quantile reports the q-quantile (q in [0,1]) as the upper bound of
-// the bucket holding that rank, capped at the observed maximum — so
-// the estimate never undershoots the true value and overshoots it by
-// at most Growth. Zero observations report zero.
+// Quantile reports the q-quantile as the upper bound of the bucket
+// holding that rank, capped at the observed maximum — so the estimate
+// never undershoots the true value and overshoots it by at most
+// Growth. It is the arbitrary-q primitive behind every hard-coded
+// percentile in a Snapshot, the /metrics bucket export, and the trace
+// timeline renderer. q is validated to [0,1]: out-of-range values
+// clamp, and NaN (which no comparison can place) reports zero rather
+// than a bucket chosen by float accident. Zero observations report
+// zero.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	if math.IsNaN(q) {
+		return 0
+	}
 	total := h.count.Load()
 	if total == 0 {
 		return 0
@@ -178,13 +186,18 @@ type Bucket struct {
 // be diffed or re-merged offline without shipping 120 mostly-zero
 // counters). All times are milliseconds, matching the /stats schema.
 type Snapshot struct {
-	Count     int64    `json:"count"`
-	SumMillis float64  `json:"sum_ms"`
-	MaxMillis float64  `json:"max_ms"`
-	P50Millis float64  `json:"p50_ms"`
-	P95Millis float64  `json:"p95_ms"`
-	P99Millis float64  `json:"p99_ms"`
-	Buckets   []Bucket `json:"buckets,omitempty"`
+	Count     int64   `json:"count"`
+	SumMillis float64 `json:"sum_ms"`
+	MaxMillis float64 `json:"max_ms"`
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	// P999Millis is the p99.9 — the deep tail a production fleet is
+	// judged by; at load-smoke request counts it usually coincides
+	// with the maximum, and diverges exactly when there is enough
+	// traffic for it to mean something.
+	P999Millis float64  `json:"p999_ms"`
+	Buckets    []Bucket `json:"buckets,omitempty"`
 }
 
 // millis converts nanoseconds to float milliseconds.
@@ -193,12 +206,13 @@ func millis(ns float64) float64 { return ns / 1e6 }
 // Snapshot renders the histogram's current state.
 func (h *Histogram) Snapshot() Snapshot {
 	s := Snapshot{
-		Count:     h.count.Load(),
-		SumMillis: millis(float64(h.sum.Load())),
-		MaxMillis: millis(float64(h.max.Load())),
-		P50Millis: millis(float64(h.Quantile(0.50).Nanoseconds())),
-		P95Millis: millis(float64(h.Quantile(0.95).Nanoseconds())),
-		P99Millis: millis(float64(h.Quantile(0.99).Nanoseconds())),
+		Count:      h.count.Load(),
+		SumMillis:  millis(float64(h.sum.Load())),
+		MaxMillis:  millis(float64(h.max.Load())),
+		P50Millis:  millis(float64(h.Quantile(0.50).Nanoseconds())),
+		P95Millis:  millis(float64(h.Quantile(0.95).Nanoseconds())),
+		P99Millis:  millis(float64(h.Quantile(0.99).Nanoseconds())),
+		P999Millis: millis(float64(h.Quantile(0.999).Nanoseconds())),
 	}
 	for i := range h.counts {
 		if n := h.counts[i].Load(); n != 0 {

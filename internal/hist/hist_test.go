@@ -191,3 +191,53 @@ func TestSnapshotWireForm(t *testing.T) {
 		t.Errorf("max/sum = %v/%v, want 3/5", s.MaxMillis, s.SumMillis)
 	}
 }
+
+// TestQuantileValidation: out-of-range q clamps to the endpoints and
+// NaN — which no comparison can place — reports zero instead of a
+// bucket chosen by float accident.
+func TestQuantileValidation(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, time.Second} {
+		h.Record(d)
+	}
+	if got, want := h.Quantile(-0.5), h.Quantile(0); got != want {
+		t.Errorf("q=-0.5 = %v, want clamp to q=0 (%v)", got, want)
+	}
+	if got, want := h.Quantile(7), h.Quantile(1); got != want {
+		t.Errorf("q=7 = %v, want clamp to q=1 (%v)", got, want)
+	}
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Errorf("q=NaN = %v, want 0", got)
+	}
+}
+
+// TestSnapshotP999: the snapshot carries a p99.9 that obeys the same
+// never-undershoot contract as the other quantiles and orders after
+// p99; with one dominant tail value it reports exactly that maximum.
+func TestSnapshotP999(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Millisecond)
+	}
+	// Five 1s observations out of 1005: a ~0.5% tail, deep enough
+	// that the p99.9 rank lands inside it (and is capped at the max).
+	for i := 0; i < 5; i++ {
+		h.Record(time.Second)
+	}
+	s := h.Snapshot()
+	if s.P999Millis < s.P99Millis {
+		t.Errorf("p999 %v < p99 %v", s.P999Millis, s.P99Millis)
+	}
+	if s.P999Millis != s.MaxMillis {
+		t.Errorf("p999 = %vms, want the tail max %vms", s.P999Millis, s.MaxMillis)
+	}
+	if got := millisToDuration(s.P999Millis); got != h.Quantile(0.999) {
+		t.Errorf("snapshot p999 %v != Quantile(0.999) %v", got, h.Quantile(0.999))
+	}
+}
+
+// millisToDuration converts the snapshot's float milliseconds back to
+// a duration for comparison against Quantile.
+func millisToDuration(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hist"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // Request kinds: the two serving paths a figuresd fleet exposes. The
@@ -178,6 +179,26 @@ type TargetSummary struct {
 	ScrapeError string `json:"scrape_error,omitempty"`
 }
 
+// ErrorSample ties one failed request to the trace ID the harness
+// minted for it, so a red run's failures can be looked up in the
+// fleet's journals (/trace/{id}) instead of guessed at.
+type ErrorSample struct {
+	RequestID string `json:"request_id"`
+	Error     string `json:"error"`
+}
+
+// TraceSample names one successful measured request: the trace ID the
+// harness sent in the Repro-Request-ID header and where it went. The
+// journal is a bounded ring, so the samples kept are the most recent
+// ones — the IDs most likely to still be resident when a consumer
+// (CI's load-smoke gate) fetches /trace/{id} after the run.
+type TraceSample struct {
+	RequestID string `json:"request_id"`
+	Kind      string `json:"kind"`
+	Target    string `json:"target"`
+	Path      string `json:"path"`
+}
+
 // Summary is the machine-readable result of one load run — the
 // BENCH_load.json schema.
 type Summary struct {
@@ -195,9 +216,14 @@ type Summary struct {
 	// Cancelled reports an early stop via context cancellation; the
 	// counts above cover what actually ran.
 	Cancelled bool `json:"cancelled,omitempty"`
-	// ErrorSamples holds the first few distinct error strings — enough
-	// to diagnose a red run without scrolling thousands of lines.
-	ErrorSamples []string                 `json:"error_samples,omitempty"`
+	// ErrorSamples holds the first few failures with their trace IDs —
+	// enough to diagnose a red run without scrolling thousands of
+	// lines, and enough to pull each failure's span from the fleet.
+	ErrorSamples []ErrorSample `json:"error_samples,omitempty"`
+	// TraceSamples holds the most recent few successful requests'
+	// trace IDs, one handle per kind/target mix into the fleet's
+	// journals.
+	TraceSamples []TraceSample            `json:"trace_samples,omitempty"`
 	Kinds        map[string]KindSummary   `json:"kinds"`
 	Targets      map[string]TargetSummary `json:"targets"`
 }
@@ -326,8 +352,18 @@ type harness struct {
 	perTgt   []atomic.Int64
 
 	errMu      sync.Mutex
-	errSamples []string
+	errSamples []ErrorSample
+
+	traceMu      sync.Mutex
+	traceSamples []TraceSample
+	traceSeq     int
 }
+
+// sampleCap bounds both sample lists: error samples keep the first
+// few failures (the start of an outage explains it best), trace
+// samples keep the most recent few successes (the IDs still resident
+// in the fleet's bounded journals).
+const sampleCap = 5
 
 // Run drives the configured load and returns the summary. Errors are
 // configuration mistakes only; request failures are counted in the
@@ -398,6 +434,7 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 		WarmupSeconds:   opts.Warmup.Seconds(),
 		Cancelled:       cancelled,
 		ErrorSamples:    h.errSamples,
+		TraceSamples:    h.traceSamples,
 		Kinds:           map[string]KindSummary{},
 		Targets:         map[string]TargetSummary{},
 	}
@@ -500,10 +537,14 @@ dispatch:
 
 // do performs one request and records its outcome. The measured
 // latency spans request start to body fully read — the user-visible
-// cost of the response, not just its first byte.
+// cost of the response, not just its first byte. Every request
+// carries a freshly minted trace ID, so any request in the run —
+// failed or not — can be looked up in the target's journal while it
+// stays resident.
 func (h *harness) do(kind, target string, tgtIdx int, path string, measured bool) {
+	reqID := trace.NewID()
 	start := time.Now()
-	err := h.get(target + path)
+	err := h.get(reqID, target+path)
 	d := time.Since(start)
 	if !measured {
 		return
@@ -514,18 +555,33 @@ func (h *harness) do(kind, target string, tgtIdx int, path string, measured bool
 	if err != nil {
 		h.kindErrs[kind].Add(1)
 		h.errMu.Lock()
-		if len(h.errSamples) < 5 {
-			h.errSamples = append(h.errSamples, err.Error())
+		if len(h.errSamples) < sampleCap {
+			h.errSamples = append(h.errSamples, ErrorSample{RequestID: reqID, Error: err.Error()})
 		}
 		h.errMu.Unlock()
-		h.logf("load: %s: %v", path, err)
+		h.logf("load: %s: %v (trace %s)", path, err, reqID)
+		return
 	}
+	h.traceMu.Lock()
+	s := TraceSample{RequestID: reqID, Kind: kind, Target: target, Path: path}
+	if len(h.traceSamples) < sampleCap {
+		h.traceSamples = append(h.traceSamples, s)
+	} else {
+		h.traceSamples[h.traceSeq%sampleCap] = s
+	}
+	h.traceSeq++
+	h.traceMu.Unlock()
 }
 
-// get fetches one URL, draining the body; any transport error or
-// non-200 status is a request failure.
-func (h *harness) get(url string) error {
-	resp, err := h.client.Get(url)
+// get fetches one URL under the given trace ID, draining the body;
+// any transport error or non-200 status is a request failure.
+func (h *harness) get(reqID, url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(trace.Header, reqID)
+	resp, err := h.client.Do(req)
 	if err != nil {
 		return err
 	}

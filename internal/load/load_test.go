@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // fakeShardables returns a shardable seam whose partition has four
@@ -32,12 +33,16 @@ func fakeShardables() map[string]experiments.Shardable {
 type fakeFleet struct {
 	whole, slice atomic.Int64
 	scrapes      atomic.Int64
+	traced       atomic.Int64 // experiment requests carrying a trace header
 	failID       string
 }
 
 func (f *fakeFleet) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(trace.Header) != "" {
+			f.traced.Add(1)
+		}
 		if r.PathValue("id") == f.failID {
 			http.Error(w, "injected failure", http.StatusInternalServerError)
 			return
@@ -144,8 +149,54 @@ func TestErrorPropagation(t *testing.T) {
 	if sum.Kinds[KindWhole].Errors != sum.Errors {
 		t.Errorf("kind errors = %d, want %d", sum.Kinds[KindWhole].Errors, sum.Errors)
 	}
-	if len(sum.ErrorSamples) == 0 || !strings.Contains(sum.ErrorSamples[0], "status 500") {
+	if len(sum.ErrorSamples) == 0 || !strings.Contains(sum.ErrorSamples[0].Error, "status 500") {
 		t.Errorf("error samples = %v", sum.ErrorSamples)
+	}
+	// Every failure is addressable in the fleet's journals: the sample
+	// carries the trace ID the harness sent with the request.
+	for _, s := range sum.ErrorSamples {
+		if s.RequestID == "" {
+			t.Errorf("error sample without a request id: %+v", s)
+		}
+	}
+	// An all-errors run has no successful requests to sample traces of.
+	if len(sum.TraceSamples) != 0 {
+		t.Errorf("trace samples on an all-errors run: %+v", sum.TraceSamples)
+	}
+}
+
+// TestTraceIDsOnWire: every request the harness issues carries a
+// Repro-Request-ID header, and a healthy run's summary samples a few
+// of them — the handles CI uses to fetch /trace/{id} after the run.
+func TestTraceIDsOnWire(t *testing.T) {
+	fleet := &fakeFleet{}
+	ts := httptest.NewServer(fleet.handler())
+	defer ts.Close()
+
+	sum, err := Run(context.Background(), Options{
+		Targets:     []string{ts.URL},
+		QPS:         100,
+		Duration:    200 * time.Millisecond,
+		Mix:         []MixEntry{{Kind: KindWhole, Weight: 1}},
+		Experiments: []string{"E1"},
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fleet.traced.Load(); got != sum.Requests {
+		t.Errorf("%d of %d requests carried a trace header", got, sum.Requests)
+	}
+	if len(sum.TraceSamples) == 0 {
+		t.Fatal("healthy run produced no trace samples")
+	}
+	if want := min(int(sum.Requests), sampleCap); len(sum.TraceSamples) != want {
+		t.Errorf("trace samples = %d, want %d", len(sum.TraceSamples), want)
+	}
+	for _, s := range sum.TraceSamples {
+		if s.RequestID == "" || s.Kind != KindWhole || s.Target != ts.URL || s.Path == "" {
+			t.Errorf("malformed trace sample: %+v", s)
+		}
 	}
 }
 

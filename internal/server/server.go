@@ -35,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hist"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // DefaultTimeout bounds one experiment execution when Options.Timeout
@@ -81,6 +82,12 @@ type Options struct {
 	// otherwise — an override's ids are not the real experiments, so
 	// it opts in explicitly.
 	Shardables map[string]experiments.Shardable
+	// Journal receives one span per request (keyed by the
+	// Repro-Request-ID header, minted here when absent) and backs
+	// GET /trace/{id}; nil means a private journal with the default
+	// bounds. cmd/figuresd shares one journal between this server and
+	// its -peers coordinator so a front-door trace shows both layers.
+	Journal *trace.Journal
 	// Logf receives one line per request; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -102,6 +109,7 @@ type Server struct {
 	backend    func(ctx context.Context, id string) (experiments.Result, error)
 	shardables map[string]experiments.Shardable
 	exploreSem chan struct{}
+	journal    *trace.Journal
 	logf       func(format string, args ...any)
 	flights    flightGroup
 	mux        *http.ServeMux
@@ -142,6 +150,10 @@ func New(opts Options) *Server {
 	if shardables == nil {
 		shardables = experiments.ShardablesFor(opts.Registry)
 	}
+	journal := opts.Journal
+	if journal == nil {
+		journal = trace.NewJournal(0, 0)
+	}
 	s := &Server{
 		reg:        reg,
 		ids:        ids,
@@ -150,6 +162,7 @@ func New(opts Options) *Server {
 		backend:    opts.Backend,
 		shardables: shardables,
 		exploreSem: make(chan struct{}, sliceExploreSlots),
+		journal:    journal,
 		logf:       logf,
 		mux:        http.NewServeMux(),
 		cooldowns:  make(map[string]cooldownEntry),
@@ -163,6 +176,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /experiments", s.handleIndex)
 	s.mux.HandleFunc("GET /experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -199,6 +214,21 @@ var contentTypes = map[string]string{
 	"csv":  "text/csv",
 }
 
+// requestID extracts the request's trace ID from the Repro-Request-ID
+// header, minting one when the server is the edge, and echoes it on
+// the response so the client can fetch /trace/{id} afterwards even
+// when it did not mint.
+func (s *Server) requestID(w http.ResponseWriter, r *http.Request) string {
+	reqID := r.Header.Get(trace.Header)
+	if reqID == "" {
+		reqID = trace.NewID()
+	}
+	w.Header().Set(trace.Header, reqID)
+	s.journal.Start(reqID, "GET "+r.URL.RequestURI())
+	s.journal.Add(reqID, trace.Event{Kind: trace.KindRequest, Detail: "GET " + r.URL.RequestURI()})
+	return reqID
+}
+
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id := r.PathValue("id")
@@ -219,15 +249,26 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	reqID := s.requestID(w, r)
 
 	s.requests.Add(1)
 	s.inFlight.Add(1)
-	res, shared, err := s.execute(id)
+	res, shared, err := s.execute(reqID, id)
 	s.inFlight.Add(-1)
 	s.record(EndpointExperiment, id, time.Since(start), err != nil || res.Err != nil)
+	switch {
+	case shared:
+		s.journal.Add(reqID, trace.Event{Kind: trace.KindCoalesce,
+			Detail: "joined an in-flight execution or cooldown window"})
+	case err == nil && res.Cached:
+		s.journal.Add(reqID, trace.Event{Kind: trace.KindCacheHit})
+	case err == nil:
+		s.journal.Add(reqID, trace.Event{Kind: trace.KindCacheMiss})
+	}
 	if err != nil {
 		// Engine configuration errors only; the id was validated, so
 		// this is a server bug rather than a client mistake.
+		s.traceDone(reqID, http.StatusInternalServerError, start)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -237,6 +278,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	// around its encoded error form.
 	var body bytes.Buffer
 	if err := encode(&body, []experiments.Result{res}); err != nil {
+		s.traceDone(reqID, http.StatusInternalServerError, start)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -244,12 +286,19 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if res.Err != nil {
 		status = http.StatusInternalServerError
 	}
+	s.traceDone(reqID, status, start)
 	w.Header().Set("Content-Type", contentTypes[format])
 	w.Header().Set(RegistryVersionHeader, experiments.RegistryVersion)
 	w.WriteHeader(status)
 	w.Write(body.Bytes())
-	s.logf("figuresd: GET %s format=%s status=%d cached=%v shared=%v in %v",
-		r.URL.Path, format, status, res.Cached, shared, time.Since(start).Round(time.Millisecond))
+	s.logf("figuresd: GET %s format=%s status=%d cached=%v shared=%v trace=%s in %v",
+		r.URL.Path, format, status, res.Cached, shared, reqID, time.Since(start).Round(time.Millisecond))
+}
+
+// traceDone closes a request's span with its status and duration.
+func (s *Server) traceDone(reqID string, status int, start time.Time) {
+	s.journal.Add(reqID, trace.Event{Kind: trace.KindDone,
+		Detail: fmt.Sprintf("status %d in %v", status, time.Since(start).Round(time.Microsecond))})
 }
 
 // sliceOutcome is the singleflight value of one slice request: the
@@ -290,6 +339,7 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 		return
 	}
 	canonical := experiments.FormatPrefixes(roots)
+	reqID := s.requestID(w, r)
 
 	s.requests.Add(1)
 	s.inFlight.Add(1)
@@ -300,7 +350,7 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 		err, shared = res.Err, true
 	} else {
 		val, err, shared = s.flights.Do(key, func() (any, error) {
-			return s.sliceEnvelope(sh, id, canonical, roots)
+			return s.sliceEnvelope(reqID, sh, id, canonical, roots)
 		})
 		if err != nil && !shared && errors.Is(err, context.DeadlineExceeded) {
 			s.startCooldown(key, experiments.Result{Err: err})
@@ -308,6 +358,10 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 	}
 	s.inFlight.Add(-1)
 	s.record(EndpointSlice, id, time.Since(start), err != nil)
+	if shared {
+		s.journal.Add(reqID, trace.Event{Kind: trace.KindCoalesce, Range: canonical,
+			Detail: "joined an in-flight execution or cooldown window"})
+	}
 	if err != nil {
 		// A prefix the scheduler cannot follow is the client's
 		// mistake, not the server's: ParsePrefixes can only check
@@ -316,6 +370,7 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 		if errors.Is(err, sched.ErrPrefixNotLive) {
 			status = http.StatusBadRequest
 		}
+		s.traceDone(reqID, status, start)
 		http.Error(w, err.Error(), status)
 		return
 	}
@@ -323,14 +378,16 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 
 	var body bytes.Buffer
 	if err := experiments.EncodeShardEnvelope(&body, out.env); err != nil {
+		s.traceDone(reqID, http.StatusInternalServerError, start)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.traceDone(reqID, http.StatusOK, start)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(RegistryVersionHeader, experiments.RegistryVersion)
 	w.Write(body.Bytes())
-	s.logf("figuresd: GET %s prefixes=%s roots=%d cached=%v shared=%v in %v",
-		r.URL.Path, canonical, len(roots), out.cached, shared, time.Since(start).Round(time.Millisecond))
+	s.logf("figuresd: GET %s prefixes=%s roots=%d cached=%v shared=%v trace=%s in %v",
+		r.URL.Path, canonical, len(roots), out.cached, shared, reqID, time.Since(start).Round(time.Millisecond))
 }
 
 // sliceEnvelope produces one slice's wire envelope: from the artifact
@@ -338,26 +395,35 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 // storing the fresh envelope back, best-effort). A stored envelope
 // whose aggregate the experiment's own Decode rejects is treated as a
 // miss and overwritten by the recomputation — the payload checksum
-// guards the bytes, Decode guards the semantics.
-func (s *Server) sliceEnvelope(sh experiments.Shardable, id, canonical string, roots [][]int) (sliceOutcome, error) {
+// guards the bytes, Decode guards the semantics. Each decision lands
+// in the journal under reqID — the leader request's ID, since the
+// singleflight runs this once per flight.
+func (s *Server) sliceEnvelope(reqID string, sh experiments.Shardable, id, canonical string, roots [][]int) (sliceOutcome, error) {
 	store, _ := s.cache.(experiments.SliceCache)
 	if store != nil {
 		if env, ok := store.GetSlice(id, canonical); ok {
 			if _, err := sh.Decode(env.Aggregate); err == nil {
+				s.journal.Add(reqID, trace.Event{Kind: trace.KindSliceCacheHit, Range: canonical})
 				return sliceOutcome{env: env, cached: true}, nil
 			}
 		}
+		s.journal.Add(reqID, trace.Event{Kind: trace.KindSliceCacheMiss, Range: canonical})
 	}
+	exploreStart := time.Now()
 	agg, err := s.exploreSlice(sh, roots)
 	if err != nil {
 		return sliceOutcome{}, err
 	}
+	s.journal.Add(reqID, trace.Event{Kind: trace.KindExplore, Range: canonical,
+		Detail: fmt.Sprintf("explored in %v", time.Since(exploreStart).Round(time.Microsecond))})
 	env, err := experiments.NewShardEnvelope(id, roots, agg)
 	if err != nil {
 		return sliceOutcome{}, err
 	}
 	if store != nil {
-		store.PutSlice(env) // best-effort, like the engine's Put
+		if err := store.PutSlice(env); err == nil { // best-effort, like the engine's Put
+			s.journal.Add(reqID, trace.Event{Kind: trace.KindSliceCacheStore, Range: canonical})
+		}
 	}
 	return sliceOutcome{env: env}, nil
 }
@@ -424,7 +490,12 @@ func (s *Server) exploreSlice(sh experiments.Shardable, roots [][]int) (experime
 // timeout failure — without executing — until one timeout period has
 // passed, bounding the abandoned work to at most one runner per
 // experiment per period no matter how aggressively clients retry.
-func (s *Server) execute(id string) (experiments.Result, bool, error) {
+//
+// reqID is the calling request's trace ID; the detached execution
+// context carries it (and nothing else from the request), so a
+// backend coordinator's decisions land in the leader's span while a
+// client disconnect still cannot cancel the shared execution.
+func (s *Server) execute(reqID, id string) (experiments.Result, bool, error) {
 	if res, ok := s.coolingDown(id); ok {
 		return res, true, nil
 	}
@@ -434,7 +505,7 @@ func (s *Server) execute(id string) (experiments.Result, bool, error) {
 			timeout = 0
 		}
 		if s.backend != nil {
-			ctx := context.Background()
+			ctx := trace.WithID(context.Background(), reqID)
 			if timeout > 0 {
 				var cancel context.CancelFunc
 				ctx, cancel = context.WithTimeout(ctx, timeout)

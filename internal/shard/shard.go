@@ -76,6 +76,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hist"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 const (
@@ -143,6 +144,16 @@ type Options struct {
 	// it opts in explicitly. An explicit empty map disables prefix
 	// sharding.
 	Shardables map[string]experiments.Shardable
+	// Journal, when non-nil, records every load-bearing decision —
+	// carve, worker selection, fetch, retry, eviction, revival,
+	// registry rejection, cache outcome, local fallback — as span
+	// events under the request's trace ID (trace.IDFrom on the run
+	// context; minted here when the coordinator is the edge). The same
+	// ID travels to every worker in the Repro-Request-ID header, so
+	// one ID names the request in the coordinator's journal and each
+	// worker's. nil disables coordinator-side recording; the header
+	// still propagates when the context carries an ID.
+	Journal *trace.Journal
 	// Now injects the coordinator's clock (eviction revival, baseline
 	// expiry); nil means time.Now. Tests use it to advance time
 	// without sleeping.
@@ -254,6 +265,7 @@ type Coordinator struct {
 	exploreSem  chan struct{}
 	shardables  map[string]experiments.Shardable
 	sliceCache  experiments.SliceCache
+	journal     *trace.Journal
 	now         func() time.Time
 	logf        func(format string, args ...any)
 
@@ -329,6 +341,7 @@ func New(opts Options) (*Coordinator, error) {
 		exploreSem:  make(chan struct{}, 1),
 		shardables:  shardables,
 		sliceCache:  sliceCache,
+		journal:     opts.Journal,
 		now:         now,
 		logf:        logf,
 	}
@@ -425,11 +438,15 @@ func (c *Coordinator) evict(w *worker) {
 	w.retryAt.Store(c.now().Add(c.reviveAfter).UnixNano())
 }
 
-// revive returns w to full rotation after a successful request.
-func (c *Coordinator) revive(w *worker) {
+// revive returns w to full rotation after a successful request,
+// reporting whether w was actually evicted (so callers journal real
+// revivals, not every success).
+func (c *Coordinator) revive(w *worker) bool {
 	if !w.healthy.Swap(true) {
 		c.logf("shard: worker %s revived", w.base)
+		return true
 	}
+	return false
 }
 
 // scrapeStats fetches one worker's /stats snapshot.
@@ -510,13 +527,25 @@ func (c *Coordinator) RunOne(ctx context.Context, id string) (experiments.Result
 // read-through per prefix range against the artifact store, so a
 // cold whole result over warm slices still executes nothing.
 func (c *Coordinator) runOne(ctx context.Context, id string) (experiments.Result, error) {
+	// The trace ID arrives on the context when an upstream edge (the
+	// serving layer) minted it; when the coordinator is itself the edge
+	// (a CLI run), it mints one so the fleet's journals still agree on
+	// a name for this request.
+	reqID := trace.IDFrom(ctx)
+	if reqID == "" && c.journal != nil {
+		reqID = trace.NewID()
+		ctx = trace.WithID(ctx, reqID)
+	}
+	c.journal.Start(reqID, "run "+id)
 	if sh, ok := c.shardables[id]; ok {
 		if cache := c.local.Cache; cache != nil {
 			if res, ok := cache.Get(id); ok && res.Err == nil && res.Table != nil {
 				res.ID = id
 				res.Cached = true
+				c.journal.Add(reqID, trace.Event{Kind: trace.KindCacheHit, Detail: "coordinator front cache"})
 				return res, nil
 			}
+			c.journal.Add(reqID, trace.Event{Kind: trace.KindCacheMiss, Detail: "coordinator front cache"})
 		}
 		if res, done := c.runPrefixSharded(ctx, id, sh); done {
 			if c.local.Cache != nil && res.Err == nil {
@@ -531,6 +560,7 @@ func (c *Coordinator) runOne(ctx context.Context, id string) (experiments.Result
 // runWhole tries up to c.retries distinct workers, least-loaded first,
 // then falls back to the local engine.
 func (c *Coordinator) runWhole(ctx context.Context, id string) (experiments.Result, error) {
+	reqID := trace.IDFrom(ctx)
 	tried := make(map[*worker]bool)
 	for attempt := 0; attempt < c.retries; attempt++ {
 		w := c.pick(tried)
@@ -538,18 +568,25 @@ func (c *Coordinator) runWhole(ctx context.Context, id string) (experiments.Resu
 			break // fleet exhausted (or entirely unhealthy)
 		}
 		tried[w] = true
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindWorkerSelected, Worker: w.base,
+			Detail: fmt.Sprintf("in-flight %d", w.inflight.Load())})
+		fetchStart := time.Now()
 		res, err := c.fetch(ctx, w, id)
 		w.inflight.Add(-1)
 		if err == nil {
 			c.remote.Add(1)
+			c.journal.Add(reqID, trace.Event{Kind: trace.KindFetch, Worker: w.base,
+				Detail: fmt.Sprintf("fetched whole in %v", time.Since(fetchStart).Round(time.Microsecond))})
 			return res, nil
 		}
 		if ctx.Err() != nil {
 			return experiments.Result{ID: id, Err: ctx.Err()}, nil
 		}
 		c.failovers.Add(1)
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindRetry, Worker: w.base, Detail: err.Error()})
 		c.logf("shard: %s on %s failed (%v); failing over", id, w.base, err)
 	}
+	c.journal.Add(reqID, trace.Event{Kind: trace.KindLocalFallback})
 	return c.runLocal(ctx, id)
 }
 
@@ -582,6 +619,9 @@ func (c *Coordinator) runPrefixSharded(ctx context.Context, id string, sh experi
 		return experiments.Result{}, false
 	}
 	ranges := splitRanges(roots, 2*c.selectableCount())
+	c.journal.Add(trace.IDFrom(ctx), trace.Event{Kind: trace.KindCarve,
+		Detail: fmt.Sprintf("%d roots into %d ranges across %d selectable workers",
+			len(roots), len(ranges), c.selectableCount())})
 	// Counted at the carve, not at success: the range counters below
 	// move for this experiment either way, and the stats must agree
 	// that its space was split even if a range later fails.
@@ -659,6 +699,7 @@ func splitRanges(roots [][]int, n int) [][][]int {
 // dropped — and every computed aggregate, remote or local, is stored
 // back so the next run of this space starts warm.
 func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Shardable, roots [][]int) (experiments.Aggregate, error) {
+	reqID := trace.IDFrom(ctx)
 	prefixes := experiments.FormatPrefixes(roots)
 	if c.sliceCache != nil {
 		if env, ok := c.sliceCache.GetSlice(id, prefixes); ok {
@@ -667,9 +708,13 @@ func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Sh
 			// falls through to a fetch, whose success overwrites it.
 			if agg, err := sh.Decode(env.Aggregate); err == nil {
 				c.prefixCached.Add(1)
+				c.journal.Add(reqID, trace.Event{Kind: trace.KindSliceCacheHit, Range: prefixes,
+					Detail: "coordinator artifact store"})
 				return agg, nil
 			}
 		}
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindSliceCacheMiss, Range: prefixes,
+			Detail: "coordinator artifact store"})
 	}
 	tried := make(map[*worker]bool)
 	for attempt := 0; attempt < c.retries; attempt++ {
@@ -678,11 +723,16 @@ func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Sh
 			break // fleet exhausted for this range
 		}
 		tried[w] = true
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindWorkerSelected, Worker: w.base, Range: prefixes,
+			Detail: fmt.Sprintf("in-flight %d", w.inflight.Load())})
+		fetchStart := time.Now()
 		agg, env, err := c.fetchSlice(ctx, w, id, sh, prefixes)
 		w.inflight.Add(-1)
 		if err == nil {
 			c.prefixRemote.Add(1)
-			c.storeSlice(env)
+			c.journal.Add(reqID, trace.Event{Kind: trace.KindFetch, Worker: w.base, Range: prefixes,
+				Detail: fmt.Sprintf("fetched slice in %v", time.Since(fetchStart).Round(time.Microsecond))})
+			c.storeSlice(reqID, env)
 			return agg, nil
 		}
 		if ctx.Err() != nil {
@@ -690,26 +740,32 @@ func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Sh
 		}
 		c.failovers.Add(1)
 		c.rangesReassigned.Add(1)
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindRetry, Worker: w.base, Range: prefixes,
+			Detail: err.Error()})
 		c.logf("shard: %s range %s on %s failed (%v); reassigning", id, prefixes, w.base, err)
 	}
 	// A local exploration fans out across every core (Explore owns the
 	// whole budget, unlike the engine's serial runners), so ranges
 	// falling back concurrently are serialized on a one-slot semaphore
 	// rather than stacking full-width explorer pools.
+	c.journal.Add(reqID, trace.Event{Kind: trace.KindLocalFallback, Range: prefixes})
 	select {
 	case c.exploreSem <- struct{}{}:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 	defer func() { <-c.exploreSem }()
+	exploreStart := time.Now()
 	agg, err := sh.Explore(roots)
 	if err != nil {
 		return nil, err
 	}
 	c.prefixLocal.Add(1)
+	c.journal.Add(reqID, trace.Event{Kind: trace.KindExplore, Range: prefixes,
+		Detail: fmt.Sprintf("explored locally in %v", time.Since(exploreStart).Round(time.Microsecond))})
 	c.logf("shard: %s range %s explored locally", id, prefixes)
 	if env, err := experiments.NewShardEnvelope(id, roots, agg); err == nil {
-		c.storeSlice(env)
+		c.storeSlice(reqID, env)
 	}
 	return agg, nil
 }
@@ -717,13 +773,16 @@ func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Sh
 // storeSlice writes one computed range back to the artifact store,
 // best-effort: caching is an optimisation, never a reason to fail a
 // range that was just computed successfully.
-func (c *Coordinator) storeSlice(env experiments.ShardEnvelope) {
+func (c *Coordinator) storeSlice(reqID string, env experiments.ShardEnvelope) {
 	if c.sliceCache == nil {
 		return
 	}
 	if err := c.sliceCache.PutSlice(env); err != nil {
 		c.logf("shard: storing slice %s %s: %v", env.ID, env.Prefixes, err)
+		return
 	}
+	c.journal.Add(reqID, trace.Event{Kind: trace.KindSliceCacheStore, Range: env.Prefixes,
+		Detail: "coordinator artifact store"})
 }
 
 // fetchSlice retrieves one prefix range's aggregate from one worker,
@@ -816,10 +875,18 @@ func (c *Coordinator) fetchWorkerLocked(ctx context.Context, w *worker, pathAndQ
 	if err != nil {
 		return err
 	}
+	// The trace ID crosses the process boundary here: the worker
+	// journals its slice-cache and exploration decisions under the same
+	// ID the coordinator journals selection under.
+	reqID := trace.IDFrom(ctx)
+	if reqID != "" {
+		req.Header.Set(trace.Header, reqID)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if !errors.Is(err, context.DeadlineExceeded) {
 			c.evict(w)
+			c.journal.Add(reqID, trace.Event{Kind: trace.KindEvict, Worker: w.base, Detail: err.Error()})
 		}
 		return err
 	}
@@ -834,12 +901,16 @@ func (c *Coordinator) fetchWorkerLocked(ctx context.Context, w *worker, pathAndQ
 	// instead. Workers too old to send the header are caught by the
 	// probe's /stats version check.
 	if v := resp.Header.Get(server.RegistryVersionHeader); v != "" && v != experiments.RegistryVersion {
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindRegistryReject, Worker: w.base,
+			Detail: fmt.Sprintf("worker registry %s, want %s", v, experiments.RegistryVersion)})
 		return fmt.Errorf("worker registry %s, want %s", v, experiments.RegistryVersion)
 	}
 	if err := decode(resp.Body); err != nil {
 		return err
 	}
-	c.revive(w)
+	if c.revive(w) {
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindRevive, Worker: w.base})
+	}
 	return nil
 }
 
