@@ -1,7 +1,7 @@
 # Makefile — the commands CI runs are exactly the commands humans run.
 GO ?= go
 
-.PHONY: build test test-short bench bench-json lint figures cover fuzz-smoke load-smoke
+.PHONY: build test test-short bench bench-json lint figures cover fuzz-smoke load-smoke reduce-gate
 
 build:
 	$(GO) build ./...
@@ -47,11 +47,23 @@ cover:
 load-smoke:
 	./scripts/load-smoke.sh
 
+# reduce-gate proves the memoized explorer equivalent on the real
+# experiments: E2 and E15 run exhaustively and with `figures -reduce`
+# must emit byte-identical tables in every format while visiting
+# strictly fewer states than they account executions, with execution
+# counts pinned to the committed BENCH_explore.json baseline (which
+# the gate rewrites with fresh counters and explore ns/op).
+reduce-gate:
+	./scripts/reduce-gate.sh
+
 # fuzz-smoke runs each fuzz target briefly: arbitrary bytes must never
-# panic the results decoder or the cache read path.
+# panic the results decoder, the cache read path, the canonical-state
+# fingerprint, or the prefixes-to-memoized-exploration pipeline.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeJSON$$' -fuzztime=10s ./internal/experiments
 	$(GO) test -run='^$$' -fuzz='^FuzzCacheGet$$' -fuzztime=10s ./internal/cache
+	$(GO) test -run='^$$' -fuzz='^FuzzCanonicalState$$' -fuzztime=10s ./internal/memory
+	$(GO) test -run='^$$' -fuzz='^FuzzPrefixesMemoExplore$$' -fuzztime=10s ./internal/experiments
 
 figures:
 	$(GO) run ./cmd/figures

@@ -391,6 +391,26 @@ func BenchmarkExploreParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreMemoized measures the canonical-state memoized
+// exploration of the same Algorithm 1 space BenchmarkExploreParallel
+// sweeps exhaustively: the reported executions metric matches the
+// exhaustive run count while replays stays a fraction of it — the
+// reduction BENCH_explore.json tracks over time.
+func BenchmarkExploreMemoized(b *testing.B) {
+	var stats sched.MemoStats
+	for i := 0; i < b.N; i++ {
+		_, s, err := agreement.ExploreAlg1Memo(4, [2]uint64{0, 1}, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = s
+	}
+	b.ReportMetric(float64(stats.Executions), "executions")
+	b.ReportMetric(float64(stats.Replays), "replays")
+	b.ReportMetric(float64(stats.StatesVisited), "states_visited")
+	b.ReportMetric(float64(stats.StatesPruned), "states_pruned")
+}
+
 // BenchmarkSchedHandshake measures the raw cost of one scheduler-gated
 // step (the simulator's unit of work).
 func BenchmarkSchedHandshake(b *testing.B) {

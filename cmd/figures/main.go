@@ -6,8 +6,8 @@
 // Usage:
 //
 //	figures [-run E3,E7] [-jobs N] [-format text|json|csv] [-timeout D]
-//	        [-cache-dir DIR] [-no-cache] [-workers HOSTS] [-o FILE]
-//	        [-list] [-v]
+//	        [-cache-dir DIR] [-no-cache] [-workers HOSTS] [-reduce]
+//	        [-o FILE] [-list] [-v]
 //	figures load -addr HOSTS [-qps N] [-duration D] [-warmup D]
 //	        [-mix whole:3,slice:1] [-experiments E1,E2,E15] [-o FILE]
 //	figures trace -addr HOSTS [-timeout D] REQUEST_ID
@@ -39,6 +39,15 @@
 // a read-through cache hierarchy: each range is consulted in the
 // store before it is dispatched and stored back after, so a repeated
 // sharded run of the same space executes zero explorations anywhere.
+//
+// -reduce runs the reduced-capable experiments (E2's and E15's
+// exhaustive schedule sweeps) through the canonical-state memoized
+// explorer instead of replaying every interleaving: the output bytes
+// are identical in every format, and one stderr line per reduced
+// experiment reports the explorer's counters (states visited, subtrees
+// pruned, replays performed vs executions accounted). It is a local
+// engine mode, so it cannot combine with -workers — sharded ranges
+// keep their exhaustive byte-identical contract.
 //
 // -trace turns on per-request span journaling (internal/trace) for
 // sharded runs: every run gets a request ID, the coordinator journals
@@ -101,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		noCache  = fs.Bool("no-cache", false, "ignore -cache-dir and run everything fresh")
 		workers  = fs.String("workers", "", "comma-separated figuresd workers (host:port) to fan the run out to; unreachable workers fall back to local execution, which -jobs governs")
 		traceOn  = fs.Bool("trace", false, "journal per-request spans on sharded runs and print each request's trace id and timeline on stderr (requires -workers)")
+		reduce   = fs.Bool("reduce", false, "run reduced-capable experiments through the canonical-state memoized explorer (byte-identical output, counters on stderr; incompatible with -workers)")
 		outFile  = fs.String("o", "", "write output to this file instead of stdout")
 		list     = fs.Bool("list", false, "list experiment ids and exit")
 		verbose  = fs.Bool("v", false, "report per-experiment timing on stderr")
@@ -129,6 +139,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *traceOn && *workers == "" {
 		return fmt.Errorf("-trace requires -workers (spans journal the coordinator's fleet decisions)")
 	}
+	// The memoized mode is a local engine choice; sharded ranges keep
+	// the exhaustive byte-identical contract, so a silently exhaustive
+	// -reduce -workers run would misreport what it measured.
+	if *reduce && *workers != "" {
+		return fmt.Errorf("-reduce cannot combine with -workers (reduction is a local engine mode)")
+	}
 
 	var ids []string
 	if *runIDs != "" {
@@ -143,6 +159,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Jobs:     *jobs,
 		Timeout:  *timeout,
 		Registry: testRegistry,
+		Reduce:   *reduce,
 	}
 	// Validate the ids before touching the -o file below: a typo'd
 	// -run must fail cleanly, not truncate an existing output file.
@@ -201,6 +218,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "figures: %-4s %8.3fs  %s\n", r.ID, r.Duration.Seconds(), status)
 		}
 		fmt.Fprintf(stderr, "figures: total %.3fs\n", time.Since(start).Seconds())
+	}
+	// One grep-friendly counter line per reduced experiment (CI keys on
+	// the "figures: reduce" prefix): the proof the run went through the
+	// memoized explorer, and how much it saved.
+	if *reduce {
+		for _, r := range results {
+			if !r.Reduced {
+				continue
+			}
+			fmt.Fprintf(stderr, "figures: reduce %s visited=%d pruned=%d replays=%d executions=%d\n",
+				r.ID, r.Memo.StatesVisited, r.Memo.StatesPruned, r.Memo.Replays, r.Memo.Executions)
+		}
 	}
 	// The hit-rate line counts this process's own store: local-run
 	// hits, or — sharded — the coordinator's front-cache hits (worker

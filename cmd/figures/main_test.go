@@ -447,3 +447,43 @@ func TestLoadSubcommandRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestReduceFlagByteIdenticalWithCounters pins the -reduce CLI
+// surface: the reduced run's stdout is byte-identical to the
+// exhaustive run in every format, and stderr carries one counter line
+// per reduced experiment showing real pruning.
+func TestReduceFlagByteIdenticalWithCounters(t *testing.T) {
+	for _, format := range []string{"text", "json", "csv"} {
+		var full, fullErr bytes.Buffer
+		if err := run([]string{"-run", "E2", "-format", format}, &full, &fullErr); err != nil {
+			t.Fatal(err)
+		}
+		var red, redErr bytes.Buffer
+		if err := run([]string{"-run", "E2", "-format", format, "-reduce"}, &red, &redErr); err != nil {
+			t.Fatal(err)
+		}
+		if red.String() != full.String() {
+			t.Errorf("%s: -reduce output diverges:\n--- exhaustive ---\n%s--- reduced ---\n%s",
+				format, full.String(), red.String())
+		}
+		if !strings.Contains(redErr.String(), "figures: reduce E2 visited=") {
+			t.Errorf("%s: stderr missing counter line: %q", format, redErr.String())
+		}
+		if strings.Contains(fullErr.String(), "figures: reduce") {
+			t.Errorf("%s: exhaustive run printed reduce counters: %q", format, fullErr.String())
+		}
+	}
+}
+
+// TestReduceRejectsWorkers: the memoized mode is a local engine
+// choice, so combining it with a fleet run must fail fast.
+func TestReduceRejectsWorkers(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-run", "E2", "-reduce", "-workers", "localhost:1"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "-reduce cannot combine with -workers") {
+		t.Fatalf("err = %v, want -reduce/-workers rejection", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("rejected run produced output: %q", out.String())
+	}
+}

@@ -238,6 +238,48 @@ func ExploreAlg1Prefixes(k int, inputs [2]uint64, workers int, roots [][]int, vi
 	return sched.ExplorePrefixes(factory, 0, workers, roots)
 }
 
+// ExploreAlg1Memo is the memoized analogue of ExploreAlg1
+// (sched.ExploreMemo): it explores the same schedule tree through the
+// canonical-state memo, merging leaf's per-execution contributions
+// with merge instead of visiting every execution. The aggregate —
+// and the reported execution count — are exactly the exhaustive
+// ones, at a fraction of the replays.
+//
+// leaf runs on each *visited* leaf and must obey the memo contract
+// (sched.MemoInstance.Leaf): return a fresh value determined by the
+// run's final state, never retain the Alg1Run or its pooled
+// Result, and — because the memory's canonical key applies the
+// process-relabelling reduction — be invariant under swapping the two
+// processes' roles whenever the inputs are equal. merge must be pure
+// (sched.MemoOptions.Merge).
+func ExploreAlg1Memo(k int, inputs [2]uint64, leaf func(*Alg1Run) any, merge func(a, b any) any) (any, sched.MemoStats, error) {
+	return ExploreAlg1MemoPrefixes(k, inputs, [][]int{{}}, leaf, merge)
+}
+
+// ExploreAlg1MemoPrefixes is ExploreAlg1Memo restricted to the
+// subtrees under the given schedule prefixes
+// (sched.ExploreMemoPrefixes): the memoized form of the slice a shard
+// of a distributed run owns. The memoized union over any partition of
+// Alg1Roots equals the exhaustive whole-tree aggregate.
+func ExploreAlg1MemoPrefixes(k int, inputs [2]uint64, roots [][]int, leaf func(*Alg1Run) any, merge func(a, b any) any) (any, sched.MemoStats, error) {
+	factory := func() sched.MemoInstance {
+		cur, procs := newAlg1Run(k, inputs)
+		inst := sched.MemoInstance{
+			Procs: procs,
+			State: cur.Mem.CanonicalKey,
+		}
+		if leaf != nil {
+			inst.Leaf = func(r *sched.Result) any {
+				cur.Result = r
+				defer func() { cur.Result = nil }()
+				return leaf(cur)
+			}
+		}
+		return inst
+	}
+	return sched.ExploreMemoPrefixes(factory, sched.MemoOptions{Merge: merge}, roots)
+}
+
 // Alg1Roots enumerates the live schedule prefixes of the Algorithm 1
 // exploration at the given cut depth (sched.PartitionRoots): the
 // deterministic partition a coordinator carves into per-worker ranges.

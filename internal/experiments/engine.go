@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // Options configures an engine run.
@@ -26,6 +28,13 @@ type Options struct {
 	// stored, so errors are always recomputed. Cache write errors are
 	// ignored: caching is an optimisation, never a reason to fail a run.
 	Cache Cache
+	// Reduce runs the experiments that support it (Reduced()) through
+	// the canonical-state memoized explorer instead of the exhaustive
+	// sweep. Tables stay byte-identical; Result.Memo carries the
+	// explorer's counters. Reduced-capable experiments bypass Cache in
+	// this mode — the counters are the point of asking for it — while
+	// the rest of the registry runs (and caches) as usual.
+	Reduce bool
 }
 
 // Cache is the engine's view of a result store, keyed by experiment id.
@@ -55,6 +64,12 @@ type Result struct {
 	// runner executed. Like Duration it is not part of the wire form,
 	// so cached and fresh runs encode byte-identically.
 	Cached bool
+	// Reduced reports that the run went through the memoized explorer
+	// (Options.Reduce). Like Cached it is not part of the wire form:
+	// reduced and exhaustive runs encode byte-identically.
+	Reduced bool
+	// Memo carries the memoized exploration's counters when Reduced.
+	Memo sched.MemoStats
 	// Duration is the experiment's wall-clock time.
 	Duration time.Duration
 }
@@ -123,8 +138,33 @@ func Run(ctx context.Context, opts Options) ([]Result, error) {
 }
 
 // runCached serves one experiment from opts.Cache when possible and
-// runs it (storing a success back) otherwise.
+// runs it (storing a success back) otherwise. Under Options.Reduce a
+// reduced-capable experiment runs fresh through the memoized explorer
+// — counters from a cache hit would be fiction — with the same panic
+// isolation and timeout as any other runner.
 func runCached(ctx context.Context, id string, r Runner, opts Options) Result {
+	if opts.Reduce {
+		if rr, ok := Reduced()[id]; ok {
+			// The stats channel is buffered and written before the
+			// wrapped runner returns, so a successful runOne implies the
+			// value is already there; on timeout or cancellation it is
+			// simply never read.
+			statsCh := make(chan sched.MemoStats, 1)
+			wrapped := func() (*Table, error) {
+				tab, stats, err := rr()
+				statsCh <- stats
+				return tab, err
+			}
+			res := runOne(ctx, id, wrapped, opts.Timeout)
+			select {
+			case stats := <-statsCh:
+				res.Reduced = true
+				res.Memo = stats
+			default:
+			}
+			return res
+		}
+	}
 	if opts.Cache != nil {
 		if res, ok := opts.Cache.Get(id); ok && res.Err == nil && res.Table != nil {
 			res.ID = id

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"repro/internal/agreement"
+	"repro/internal/sched"
+	"repro/internal/task"
+)
+
+// This file is the reduced-exploration seam: the experiments whose
+// exhaustive schedule sweeps can run through the canonical-state
+// memoized explorer (sched.ExploreMemo) instead of replaying every
+// interleaving. A reduced runner must render *exactly* the bytes its
+// exhaustive twin renders — it feeds the same aggregate into the same
+// finish path — and additionally reports the explorer's counters, the
+// observability the -reduce CLI flag and the server's /stats section
+// surface. Reduction is opt-in per experiment (Options.Reduce) and
+// never changes the Shardable partial-run forms: sharded ranges keep
+// their exhaustive byte-identical contract.
+
+// ReducedRunner produces the same table as the experiment's Runner,
+// plus the memoized exploration's counters.
+type ReducedRunner func() (*Table, sched.MemoStats, error)
+
+// Reduced returns the experiments that support the memoized
+// exploration mode, by id: the two exhaustive schedule sweeps.
+func Reduced() map[string]ReducedRunner {
+	return map[string]ReducedRunner{
+		"E2":  Figure2ExecutionsReduced,
+		"E15": Theorem12ExhaustiveReduced,
+	}
+}
+
+// ReducedIDs returns the reduced-capable experiment ids in index order.
+func ReducedIDs() []string {
+	m := Reduced()
+	ids := make(map[string]Runner, len(m))
+	for id := range m {
+		ids[id] = nil
+	}
+	return sortIDs(ids)
+}
+
+// alg1LeafAgg extracts one execution's contribution to E2's aggregate:
+// a fresh single-run alg1SweepAgg, built through the same collector the
+// exhaustive sweep uses. It is determined by the run's final state
+// (outputs, per-process step counts) and invariant under process
+// relabelling (set union, absolute difference, max), as the memo
+// contract requires.
+func alg1LeafAgg(ar *agreement.Alg1Run) any {
+	c := newAlg1Collector()
+	c.visit(ar)
+	return c.agg()
+}
+
+// mergeAlg1Agg is the pure MemoOptions.Merge over E2 aggregates: it
+// folds both into a fresh zero aggregate, leaving the arguments — live
+// memo entries — untouched. (alg1SweepAgg.Merge mutates its receiver,
+// which is exactly why the memoized path merges into a clone.)
+func mergeAlg1Agg(a, b any) any {
+	out := &alg1SweepAgg{}
+	out.Merge(a.(*alg1SweepAgg))
+	out.Merge(b.(*alg1SweepAgg))
+	return out
+}
+
+// Figure2ExecutionsReduced is E2 through the memoized explorer: the
+// same aggregate-and-finish path as Figure2Executions, with pruned
+// subtrees contributing their memoized aggregates instead of being
+// replayed.
+func Figure2ExecutionsReduced() (*Table, sched.MemoStats, error) {
+	agg, stats, err := agreement.ExploreAlg1Memo(e2K, e2Inputs, alg1LeafAgg, mergeAlg1Agg)
+	if err != nil {
+		return nil, stats, err
+	}
+	a, _ := agg.(*alg1SweepAgg)
+	if a == nil {
+		a = &alg1SweepAgg{}
+	}
+	tab, err := finishE2(a)
+	return tab, stats, err
+}
+
+// Theorem12ExhaustiveReduced is E15 through the memoized explorer:
+// every visited execution validated by task.CheckRun, pruned subtrees
+// vouched for by their memoized twins, and the exhaustive execution
+// count recovered from the explorer's accounting.
+func Theorem12ExhaustiveReduced() (*Table, sched.MemoStats, error) {
+	plan, err := e15Plan()
+	if err != nil {
+		return nil, sched.MemoStats{}, err
+	}
+	stats, err := task.ExploreAlg2Memo(plan, e15Input)
+	if err != nil {
+		return nil, stats, err
+	}
+	tab, err := finishE15(&alg2SweepAgg{Execs: stats.Executions})
+	return tab, stats, err
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// encodeAll renders a result slice in the three wire formats.
+func encodeAll(t *testing.T, results []Result) (text, js, csv string) {
+	t.Helper()
+	var bt, bj, bc bytes.Buffer
+	if err := EncodeText(&bt, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeJSON(&bj, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeCSV(&bc, results); err != nil {
+		t.Fatal(err)
+	}
+	return bt.String(), bj.String(), bc.String()
+}
+
+// TestReducedMatchesExhaustiveBytes is the engine-level differential
+// gate: the reduced runs of every reduced-capable experiment must
+// encode byte-identically to the exhaustive runs in all three formats,
+// while visiting strictly fewer states than executions.
+func TestReducedMatchesExhaustiveBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration")
+	}
+	ids := ReducedIDs()
+	if len(ids) == 0 {
+		t.Fatal("no reduced-capable experiments registered")
+	}
+
+	full, err := Run(context.Background(), Options{IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(full); err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := Run(context.Background(), Options{IDs: ids, Reduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(reduced); err != nil {
+		t.Fatal(err)
+	}
+
+	ft, fj, fc := encodeAll(t, full)
+	rt, rj, rc := encodeAll(t, reduced)
+	if rt != ft {
+		t.Errorf("text output diverges:\n--- exhaustive ---\n%s--- reduced ---\n%s", ft, rt)
+	}
+	if rj != fj {
+		t.Errorf("json output diverges")
+	}
+	if rc != fc {
+		t.Errorf("csv output diverges")
+	}
+
+	for _, r := range reduced {
+		if !r.Reduced {
+			t.Errorf("%s: Reduced not set", r.ID)
+			continue
+		}
+		if r.Memo.Executions == 0 {
+			t.Errorf("%s: no executions accounted", r.ID)
+		}
+		if r.Memo.Replays >= r.Memo.Executions {
+			t.Errorf("%s: %d replays for %d executions — memoization saved nothing",
+				r.ID, r.Memo.Replays, r.Memo.Executions)
+		}
+		if r.Memo.StatesPruned == 0 {
+			t.Errorf("%s: no subtree pruned", r.ID)
+		}
+		if r.Memo.StatesVisited == 0 {
+			t.Errorf("%s: no state recorded", r.ID)
+		}
+	}
+	for _, r := range full {
+		if r.Reduced {
+			t.Errorf("%s: exhaustive run claims Reduced", r.ID)
+		}
+	}
+}
+
+// memCache is a minimal in-memory Cache for the bypass test.
+type memCache map[string]Result
+
+func (c memCache) Get(id string) (Result, bool) { r, ok := c[id]; return r, ok }
+func (c memCache) Put(id string, r Result) error {
+	c[id] = r
+	return nil
+}
+
+// TestReducedBypassesCache pins the Reduce/Cache interaction: a
+// reduced-capable experiment runs fresh (its counters are the point),
+// while non-capable experiments still hit the cache.
+func TestReducedBypassesCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration")
+	}
+	cache := memCache{}
+	seed, err := Run(context.Background(), Options{IDs: []string{"E2", "E1"}, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(seed); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := Run(context.Background(), Options{IDs: []string{"E2", "E1"}, Cache: cache, Reduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range again {
+		switch r.ID {
+		case "E2":
+			if r.Cached || !r.Reduced {
+				t.Errorf("E2 under Reduce: Cached=%v Reduced=%v, want fresh reduced run", r.Cached, r.Reduced)
+			}
+		case "E1":
+			if !r.Cached || r.Reduced {
+				t.Errorf("E1 under Reduce: Cached=%v Reduced=%v, want plain cache hit", r.Cached, r.Reduced)
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package memory
+
+import "testing"
+
+// TestCanonicalKeyIdempotent: fingerprinting is a pure observation —
+// repeated calls agree and leave the memory untouched.
+func TestCanonicalKeyIdempotent(t *testing.T) {
+	m := New(2, 1)
+	if err := m.write(0, uint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	m.read(1, 0)
+	k1 := m.CanonicalKey()
+	k2 := m.CanonicalKey()
+	if k1 != k2 {
+		t.Fatalf("keys differ across calls: %x vs %x", k1, k2)
+	}
+	if got := m.Peek(0); got != uint64(1) {
+		t.Fatalf("CanonicalKey mutated the memory: R0 = %v", got)
+	}
+}
+
+// TestCanonicalKeyMirrorInvariance: the same operation sequence with
+// the two process roles swapped (and register targets swapped to
+// match) lands on the same canonical key — the relabelling reduction.
+func TestCanonicalKeyMirrorInvariance(t *testing.T) {
+	type op struct {
+		kind string
+		pid  int
+		j    int
+		val  uint64
+	}
+	script := []op{
+		{kind: "wi", pid: 0, val: 0},
+		{kind: "wi", pid: 1, val: 1},
+		{kind: "w", pid: 0, val: 1},
+		{kind: "r", pid: 1, j: 0},
+		{kind: "snap", pid: 0},
+		{kind: "ri", pid: 1, j: 0},
+		{kind: "w", pid: 1, val: 1},
+		{kind: "r", pid: 0, j: 1},
+	}
+	apply := func(mirror int) *Shared {
+		m := New(2, 1)
+		for _, o := range script {
+			pid, j := o.pid^mirror, o.j^mirror
+			switch o.kind {
+			case "w":
+				if err := m.write(pid, o.val); err != nil {
+					t.Fatal(err)
+				}
+			case "r":
+				m.read(pid, j)
+			case "snap":
+				m.snapshot(pid)
+			case "wi":
+				if err := m.writeInput(pid, o.val); err != nil {
+					t.Fatal(err)
+				}
+			case "ri":
+				m.readInput(pid, j)
+			}
+		}
+		return m
+	}
+	a, b := apply(0), apply(1)
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatalf("mirrored runs disagree: %x vs %x", a.CanonicalKey(), b.CanonicalKey())
+	}
+}
+
+// TestCanonicalKeyCommutingWrites: independent steps of different
+// processes commute into the same canonical state — the property the
+// memoized explorer's pruning feeds on.
+func TestCanonicalKeyCommutingWrites(t *testing.T) {
+	ab := New(2, 1)
+	if err := ab.write(0, uint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ab.write(1, uint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	ba := New(2, 1)
+	if err := ba.write(1, uint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.write(0, uint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if ab.CanonicalKey() != ba.CanonicalKey() {
+		t.Fatal("commuting writes produced different canonical states")
+	}
+}
+
+// TestCanonicalKeyHistoryMatters: same register contents, different
+// observation histories — genuinely different local states — must get
+// different keys. Here p0 reads R1 either before or after p1's write;
+// the final memory is identical but p0 observed different values.
+func TestCanonicalKeyHistoryMatters(t *testing.T) {
+	after := New(2, 1)
+	if err := after.write(1, uint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	after.read(0, 1)
+	before := New(2, 1)
+	before.read(0, 1)
+	if err := before.write(1, uint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := before.PeekAll(), after.PeekAll(); got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("setup broken: register contents differ, %v vs %v", got, want)
+	}
+	if after.CanonicalKey() == before.CanonicalKey() {
+		t.Fatal("different observation histories collapsed to one key")
+	}
+}
+
+// TestCanonicalKeyDistinguishesContents: distinct register or input
+// contents get distinct keys.
+func TestCanonicalKeyDistinguishesContents(t *testing.T) {
+	base := New(2, 1)
+	written := New(2, 1)
+	if err := written.write(0, uint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if base.CanonicalKey() == written.CanonicalKey() {
+		t.Fatal("register content not reflected in key")
+	}
+	in0 := New(2, 1)
+	if err := in0.writeInput(0, uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	in1 := New(2, 1)
+	if err := in1.writeInput(0, uint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if in0.CanonicalKey() == in1.CanonicalKey() {
+		t.Fatal("input register content not reflected in key")
+	}
+	if base.CanonicalKey() == in0.CanonicalKey() {
+		t.Fatal("written vs unwritten input not reflected in key")
+	}
+}
+
+// TestValueWordKinds pins the value hashing across the content kinds a
+// register can hold (bounded word, nil ⊥, unbounded Go values).
+func TestValueWordKinds(t *testing.T) {
+	words := []uint64{
+		valueWord(nil),
+		valueWord(uint64(0)),
+		valueWord(uint64(1)),
+		valueWord(int(0)),
+		valueWord(true),
+		valueWord(false),
+		valueWord("x"),
+		valueWord("y"),
+		valueWord(struct{ A int }{1}),
+	}
+	seen := map[uint64]int{}
+	for i, w := range words {
+		if prev, ok := seen[w]; ok {
+			t.Fatalf("value words %d and %d collide: %x", prev, i, w)
+		}
+		seen[w] = i
+	}
+	if valueWord("x") != valueWord("x") {
+		t.Fatal("string hashing unstable")
+	}
+}

@@ -1,0 +1,119 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// fuzzKeys records every canonical key the fuzzer has produced and the
+// canonical description of the memory state it fingerprinted: two
+// different descriptions landing on one key would be a genuine hash
+// collision on the small spaces the fuzzer explores.
+var fuzzKeys = struct {
+	sync.Mutex
+	m map[sched.StateKey]string
+}{m: map[sched.StateKey]string{}}
+
+// FuzzCanonicalState drives random operation streams against a small
+// 2-process bounded memory and checks the canonicalization contract:
+// idempotent, invariant under process relabelling (the mirrored
+// stream lands on the same key), and collision-free across every
+// distinct state the corpus reaches.
+func FuzzCanonicalState(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x29, 0x12, 0x3b, 0x04})
+	f.Add([]byte{0x23, 0x23, 0x01, 0x18, 0x30, 0x0a})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		m := New(2, 1)
+		mir := New(2, 1)
+		// logs[i] is the shadow model of process i's observations,
+		// written in relabelling-invariant terms (relative indices).
+		logs := [2][]string{}
+		regs := [2]uint64{}
+		inputs := [2]*uint64{}
+
+		for _, b := range ops {
+			pid := int(b>>3) & 1
+			j := int(b>>4) & 1
+			val := uint64(b>>5) & 1
+			rel := (j - pid + 2) % 2
+			switch b % 5 {
+			case 0: // write own register
+				if err := m.write(pid, val); err != nil {
+					t.Fatalf("width-1 write of %d failed: %v", val, err)
+				}
+				if err := mir.write(pid^1, val); err != nil {
+					t.Fatal(err)
+				}
+				regs[pid] = val
+				logs[pid] = append(logs[pid], fmt.Sprintf("w%d", val))
+			case 1: // read register j
+				m.read(pid, j)
+				mir.read(pid^1, j^1)
+				logs[pid] = append(logs[pid], fmt.Sprintf("r%d=%d", rel, regs[j]))
+			case 2: // snapshot
+				m.snapshot(pid)
+				mir.snapshot(pid ^ 1)
+				logs[pid] = append(logs[pid], fmt.Sprintf("s%d,%d", regs[pid], regs[pid^1]))
+			case 3: // write input
+				err := m.writeInput(pid, val)
+				merr := mir.writeInput(pid^1, val)
+				if (err == nil) != (merr == nil) {
+					t.Fatalf("mirror diverged on writeInput: %v vs %v", err, merr)
+				}
+				if err != nil {
+					logs[pid] = append(logs[pid], fmt.Sprintf("wi!%d", val))
+				} else {
+					inputs[pid] = &val
+					logs[pid] = append(logs[pid], fmt.Sprintf("wi%d", val))
+				}
+			case 4: // read input j
+				m.readInput(pid, j)
+				mir.readInput(pid^1, j^1)
+				if inputs[j] == nil {
+					logs[pid] = append(logs[pid], fmt.Sprintf("ri%d=bot", rel))
+				} else {
+					logs[pid] = append(logs[pid], fmt.Sprintf("ri%d=%d", rel, *inputs[j]))
+				}
+			}
+		}
+
+		key := m.CanonicalKey()
+		if again := m.CanonicalKey(); again != key {
+			t.Fatalf("canonicalization not idempotent: %x then %x", key, again)
+		}
+		if mk := mir.CanonicalKey(); mk != key {
+			t.Fatalf("mirrored stream landed on %x, original on %x", mk, key)
+		}
+
+		// Collision check: the canonical description (sorted
+		// per-process components in relabelling-invariant terms) must
+		// map one-to-one onto keys across the whole corpus.
+		desc := make([]string, 2)
+		for i := 0; i < 2; i++ {
+			in := "bot"
+			if inputs[i] != nil {
+				in = fmt.Sprint(*inputs[i])
+			}
+			desc[i] = fmt.Sprintf("reg=%d in=%s log=%v", regs[i], in, logs[i])
+		}
+		sort.Strings(desc)
+		state := fmt.Sprint(desc)
+		fuzzKeys.Lock()
+		defer fuzzKeys.Unlock()
+		if prev, ok := fuzzKeys.m[key]; ok {
+			if prev != state {
+				t.Fatalf("canonical key collision on %x:\n  %s\n  %s", key, prev, state)
+			}
+		} else {
+			fuzzKeys.m[key] = state
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package sched
+
+import "sort"
+
+// This file is the canonical-state seam of the memoized explorer
+// (explore_memo.go). A system opting into memoization exposes a
+// State() function returning a StateKey: a compact fingerprint of
+// (shared-memory contents, per-process local state) computed while
+// every process is parked between steps. Two nodes of the schedule
+// tree with equal keys at equal depth have isomorphic subtrees, so
+// the DFS explores one and reuses its aggregate for the other.
+//
+// Keys are built from one component word per process (the process's
+// register content, input register, and observation history folded
+// together — internal/memory computes these) plus optional global
+// words. Key() sorts the per-process components before folding: that
+// is the process-relabelling symmetry reduction, sound exactly when
+// the system is id-symmetric (every process runs the same code, with
+// per-process parameters observable only through writes that the
+// history hash records) and the exploration's aggregate is invariant
+// under relabelling outcomes. Systems that do not satisfy that
+// contract fold the process id into each component (or use
+// KeyOrdered), which disables the reduction but keeps keys sound.
+
+// StateKey is a canonical fingerprint of one global state of an
+// explored system, bit-packed into a single word.
+type StateKey uint64
+
+// keySeed is the FNV-64 offset basis, kept as a conventional nonzero
+// starting point for rolling hashes.
+const keySeed = 14695981039346656037
+
+// KeySeed returns the initial value of a rolling key hash.
+func KeySeed() uint64 { return keySeed }
+
+// MixKey folds words into a rolling hash, one xor + full 64-bit
+// finalization per word. It is the building block for per-process
+// history hashes and for combining the components of systems spanning
+// several memories. Two cautions for callers. First, the xor step
+// cancels when the rolling hash happens to equal the next word, so a
+// nested MixKey chain folded as a word into an outer chain must start
+// from its own seed (see internal/memory's valueSeed — the memory
+// fuzzer found a real state collision when value words and history
+// chains shared KeySeed). Second, the per-word finalizer is a full
+// avalanche mix rather than an FNV-style multiply: the words folded
+// here often differ only in their lowest bits (relative register
+// indices, 0/1 register contents), which a multiply alone disperses
+// poorly; mix64 makes every input bit flip ~half the output bits,
+// keeping residual collisions at the generic 2^-64.
+func MixKey(h uint64, words ...uint64) uint64 {
+	for _, w := range words {
+		h = mix64(h ^ w)
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Canonicalizer accumulates one state fingerprint: per-process
+// component words plus optional global words. The zero value is
+// ready to use; Reset recycles the buffers for the next state.
+type Canonicalizer struct {
+	global uint64
+	nglob  int
+	comps  []uint64
+}
+
+// Reset clears the accumulated state.
+func (c *Canonicalizer) Reset() {
+	c.global = keySeed
+	c.nglob = 0
+	c.comps = c.comps[:0]
+}
+
+// Global folds shared words not owned by any process (order matters).
+func (c *Canonicalizer) Global(words ...uint64) {
+	if c.nglob == 0 && c.global == 0 {
+		c.global = keySeed
+	}
+	c.global = MixKey(c.global, words...)
+	c.nglob += len(words)
+}
+
+// Proc adds one process's component word.
+func (c *Canonicalizer) Proc(comp uint64) {
+	c.comps = append(c.comps, comp)
+}
+
+// Key folds the accumulated state into a fingerprint, sorting the
+// per-process components first: states that differ only by a
+// relabelling of id-symmetric processes collapse to one key.
+func (c *Canonicalizer) Key() StateKey {
+	sortWords(c.comps)
+	return c.fold()
+}
+
+// KeyOrdered folds without sorting: components keep their process
+// positions, so no relabelling reduction is applied. For systems
+// whose processes run different code, or whose aggregates distinguish
+// processes, this is the sound choice.
+func (c *Canonicalizer) KeyOrdered() StateKey {
+	return c.fold()
+}
+
+func (c *Canonicalizer) fold() StateKey {
+	h := uint64(keySeed)
+	if c.nglob > 0 {
+		h = MixKey(h, c.global)
+	}
+	h = MixKey(h, uint64(len(c.comps)))
+	h = MixKey(h, c.comps...)
+	return StateKey(h)
+}
+
+// sortWords sorts a small slice of words ascending (insertion sort:
+// component counts are process counts, typically 2 or 3).
+func sortWords(ws []uint64) {
+	if len(ws) < 16 {
+		for i := 1; i < len(ws); i++ {
+			for j := i; j > 0 && ws[j] < ws[j-1]; j-- {
+				ws[j], ws[j-1] = ws[j-1], ws[j]
+			}
+		}
+		return
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+}

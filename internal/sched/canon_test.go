@@ -1,0 +1,116 @@
+package sched
+
+import "testing"
+
+// TestCanonicalizerIdempotent: folding the same components yields the
+// same key, call after call and instance after instance.
+func TestCanonicalizerIdempotent(t *testing.T) {
+	build := func() StateKey {
+		var c Canonicalizer
+		c.Global(7, 9)
+		c.Proc(101)
+		c.Proc(55)
+		c.Proc(MixKey(KeySeed(), 3))
+		return c.Key()
+	}
+	k1, k2 := build(), build()
+	if k1 != k2 {
+		t.Fatalf("same state, different keys: %x vs %x", k1, k2)
+	}
+	// Reuse after Reset matches a fresh instance.
+	var c Canonicalizer
+	c.Proc(1)
+	c.Key()
+	c.Reset()
+	c.Global(7, 9)
+	c.Proc(101)
+	c.Proc(55)
+	c.Proc(MixKey(KeySeed(), 3))
+	if got := c.Key(); got != k1 {
+		t.Fatalf("reused canonicalizer key %x, fresh %x", got, k1)
+	}
+}
+
+// TestCanonicalizerRelabellingInvariance: Key is invariant under any
+// permutation of the per-process components — the symmetry reduction —
+// while KeyOrdered distinguishes them.
+func TestCanonicalizerRelabellingInvariance(t *testing.T) {
+	comps := []uint64{42, 7, 42, 99}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	keys := make([]StateKey, len(perms))
+	ordered := make([]StateKey, len(perms))
+	for pi, perm := range perms {
+		var c, co Canonicalizer
+		for _, i := range perm {
+			c.Proc(comps[i])
+			co.Proc(comps[i])
+		}
+		keys[pi] = c.Key()
+		ordered[pi] = co.KeyOrdered()
+	}
+	for _, k := range keys[1:] {
+		if k != keys[0] {
+			t.Fatalf("Key not permutation-invariant: %v", keys)
+		}
+	}
+	if ordered[0] == ordered[1] {
+		t.Fatalf("KeyOrdered collapsed a reordering: %x", ordered[0])
+	}
+}
+
+// TestCanonicalizerDistinguishes: states differing in component
+// values, component count, or global words get distinct keys.
+func TestCanonicalizerDistinguishes(t *testing.T) {
+	key := func(global []uint64, comps ...uint64) StateKey {
+		var c Canonicalizer
+		c.Global(global...)
+		for _, w := range comps {
+			c.Proc(w)
+		}
+		return c.Key()
+	}
+	a := key(nil, 1, 2)
+	for name, b := range map[string]StateKey{
+		"component value": key(nil, 1, 3),
+		"component count": key(nil, 1, 2, 2),
+		"global word":     key([]uint64{5}, 1, 2),
+	} {
+		if a == b {
+			t.Errorf("%s not distinguished: both %x", name, a)
+		}
+	}
+	// Empty-global and no-global fold identically only when no Global
+	// words were added at all.
+	if key(nil, 1, 2) != a {
+		t.Error("no-global key unstable")
+	}
+}
+
+// TestCanonicalizerManyComponents exercises the sort fallback past the
+// insertion-sort cutoff.
+func TestCanonicalizerManyComponents(t *testing.T) {
+	var fwd, rev Canonicalizer
+	for i := 0; i < 40; i++ {
+		fwd.Proc(uint64(i * 31))
+	}
+	for i := 39; i >= 0; i-- {
+		rev.Proc(uint64(i * 31))
+	}
+	if fwd.Key() != rev.Key() {
+		t.Fatal("large component sets not permutation-invariant")
+	}
+}
+
+// TestMixKeyDisperses pins the word-folding basics: order sensitivity
+// and no trivial fixed points.
+func TestMixKeyDisperses(t *testing.T) {
+	if MixKey(KeySeed(), 1, 2) == MixKey(KeySeed(), 2, 1) {
+		t.Fatal("MixKey is order-insensitive")
+	}
+	if MixKey(KeySeed(), 0) == KeySeed() {
+		t.Fatal("zero word is a fixed point")
+	}
+	if MixKey(KeySeed()) != KeySeed() {
+		t.Fatal("empty fold must be identity")
+	}
+}

@@ -62,13 +62,20 @@ var ErrPrefixNotLive = errors.New("sched: forced prefix is not a live path of th
 // early if emit returns false. The serial and parallel explorers share
 // this rule — that is what makes their coverage identical.
 func expandBranches(res *Result, prefixLen int, emit func([]int) bool) {
+	expandBranchesAlloc(res, prefixLen, func(n int) []int { return make([]int, n) }, emit)
+}
+
+// expandBranchesAlloc is expandBranches with a caller-supplied buffer
+// allocator, letting the frontier loop recycle spent prefix buffers
+// instead of allocating one per branch.
+func expandBranchesAlloc(res *Result, prefixLen int, alloc func(int) []int, emit func([]int) bool) {
 	for i := len(res.Decisions) - 1; i >= prefixLen; i-- {
 		chosen := res.Decisions[i].Pid
 		for _, alt := range res.EnabledSets[i] {
 			if alt <= chosen {
 				continue
 			}
-			branch := make([]int, i+1)
+			branch := alloc(i + 1)
 			for j := 0; j < i; j++ {
 				branch[j] = res.Decisions[j].Pid
 			}
@@ -91,7 +98,11 @@ func ExploreAll(factory func() []ProcFunc, maxSteps int, visit func(*Result)) (i
 // Instance is one fresh system build for the parallel explorer: the
 // process closures plus a completion callback receiving the run's Result.
 // Done is always invoked under the explorer's lock, so its body may
-// mutate shared state without further synchronization.
+// mutate shared state without further synchronization. The Result is
+// pooled: the explorer reuses it for the worker's next replay as soon
+// as Done returns, so Done must copy anything it wants to keep (values
+// read out of Steps/Outs-style fields are fine; retaining the *Result
+// or its slices is not).
 type Instance struct {
 	Procs []ProcFunc
 	Done  func(*Result)
@@ -150,14 +161,40 @@ func ExplorePrefixes(factory func() Instance, maxSteps, workers int, roots [][]i
 		mu       sync.Mutex
 		cond     = sync.NewCond(&mu)
 		frontier [][]int
-		pending  int // prefixes popped but not yet expanded, plus frontier
+		freeBufs [][]int // spent prefix buffers, recycled for branches (mu held)
+		pending  int     // prefixes popped but not yet expanded, plus frontier
 		runs     int
 		firstErr error
 	)
-	frontier = append(frontier, roots...)
+	// Copy the seed roots into explorer-owned buffers so every prefix
+	// in the frontier — seed or expanded branch — can be recycled
+	// without aliasing caller memory.
+	for _, root := range roots {
+		frontier = append(frontier, append(make([]int, 0, len(root)), root...))
+	}
 	pending = len(frontier)
 
+	// takeBuf hands out a recycled prefix buffer of length n (mu held).
+	// Children are longer than the parents they recycle, so undersized
+	// buffers are dropped and the pool converges on tree-height sizes.
+	takeBuf := func(n int) []int {
+		if k := len(freeBufs); k > 0 {
+			b := freeBufs[k-1]
+			freeBufs = freeBufs[:k-1]
+			if cap(b) >= n {
+				return b[:n]
+			}
+		}
+		return make([]int, n)
+	}
+
 	worker := func() {
+		// Per-worker pooled replay state: one Result (decision and
+		// enabled-set buffers), one runner (handshake channels), one
+		// Replay scheduler, reused across every run this worker does.
+		res := &Result{}
+		sch := &Replay{}
+		var rn *runner
 		for {
 			mu.Lock()
 			for len(frontier) == 0 && pending > 0 && firstErr == nil {
@@ -172,7 +209,11 @@ func ExplorePrefixes(factory func() Instance, maxSteps, workers int, roots [][]i
 			mu.Unlock()
 
 			inst := factory()
-			res, err := Run(Config{Scheduler: &Replay{Prefix: prefix}, MaxSteps: maxSteps}, inst.Procs)
+			if rn == nil || rn.n != len(inst.Procs) {
+				rn = newRunner(len(inst.Procs))
+			}
+			sch.Prefix, sch.pos = prefix, 0
+			_, err := runInto(Config{Scheduler: sch, MaxSteps: maxSteps}, inst.Procs, res, rn)
 			if err == nil && !replayedExactly(res, prefix) {
 				// Only seed roots can fail this: child prefixes are
 				// observed paths of the deterministic system. A seed
@@ -195,11 +236,12 @@ func ExplorePrefixes(factory func() Instance, maxSteps, workers int, roots [][]i
 			if inst.Done != nil {
 				inst.Done(res)
 			}
-			expandBranches(res, len(prefix), func(branch []int) bool {
+			expandBranchesAlloc(res, len(prefix), takeBuf, func(branch []int) bool {
 				frontier = append(frontier, branch)
 				pending++
 				return true
 			})
+			freeBufs = append(freeBufs, prefix)
 			pending--
 			cond.Broadcast()
 			mu.Unlock()

@@ -78,6 +78,37 @@ type Result struct {
 	Deadlocked bool
 	// BudgetExceeded reports that MaxSteps was hit.
 	BudgetExceeded bool
+
+	// enabledArena backs the EnabledSets slices when the Result is
+	// reused across replays (runInto): one flat append-only buffer per
+	// run instead of one allocation per scheduler decision.
+	enabledArena []int
+}
+
+// reset prepares a Result for reuse by runInto, keeping every backing
+// array (Steps, Decisions, EnabledSets, the enabled-set arena) so a
+// replay loop settles into zero per-run allocations.
+func (r *Result) reset(n int) {
+	if cap(r.Steps) < n {
+		r.Steps = make([]int, n)
+		r.Crashed = make([]bool, n)
+		r.Errs = make([]error, n)
+	} else {
+		r.Steps = r.Steps[:n]
+		r.Crashed = r.Crashed[:n]
+		r.Errs = r.Errs[:n]
+		for i := 0; i < n; i++ {
+			r.Steps[i] = 0
+			r.Crashed[i] = false
+			r.Errs[i] = nil
+		}
+	}
+	r.TotalSteps = 0
+	r.Decisions = r.Decisions[:0]
+	r.EnabledSets = r.EnabledSets[:0]
+	r.Deadlocked = false
+	r.BudgetExceeded = false
+	r.enabledArena = r.enabledArena[:0]
 }
 
 // Correct reports whether process i is correct in this execution: it was
@@ -160,6 +191,24 @@ type runner struct {
 	announce chan announceMsg
 	grants   []chan bool
 	exit     chan exitMsg
+	parked   map[int]func() bool
+}
+
+// newRunner builds the handshake channels for an n-process run. The
+// channels are unbuffered and drained by the time a run returns, so a
+// runner is reusable across replays of same-arity systems.
+func newRunner(n int) *runner {
+	r := &runner{
+		n:        n,
+		announce: make(chan announceMsg),
+		grants:   make([]chan bool, n),
+		exit:     make(chan exitMsg),
+		parked:   make(map[int]func() bool, n),
+	}
+	for i := range r.grants {
+		r.grants[i] = make(chan bool)
+	}
+	return r
 }
 
 // Run executes the processes under the configured scheduler until every
@@ -167,6 +216,14 @@ type runner struct {
 // The returned error is non-nil only for configuration mistakes; execution
 // outcomes (including deadlock) are reported in the Result.
 func Run(cfg Config, procs []ProcFunc) (*Result, error) {
+	return runInto(cfg, procs, nil, nil)
+}
+
+// runInto is Run with reusable buffers for replay loops: res is reset
+// and reused when non-nil (its contents are valid until the next
+// runInto call with the same res), and rn's handshake channels are
+// reused when its process count matches. Passing nil for both is Run.
+func runInto(cfg Config, procs []ProcFunc, res *Result, rn *runner) (*Result, error) {
 	n := len(procs)
 	if n == 0 {
 		return nil, errors.New("sched: no processes")
@@ -179,28 +236,22 @@ func Run(cfg Config, procs []ProcFunc) (*Result, error) {
 		maxSteps = DefaultMaxSteps
 	}
 
-	r := &runner{
-		n:        n,
-		announce: make(chan announceMsg),
-		grants:   make([]chan bool, n),
-		exit:     make(chan exitMsg),
-	}
-	for i := range r.grants {
-		r.grants[i] = make(chan bool)
+	r := rn
+	if r == nil || r.n != n {
+		r = newRunner(n)
 	}
 
 	for i, fn := range procs {
 		go runProc(r, i, n, fn)
 	}
 
-	res := &Result{
-		Steps:   make([]int, n),
-		Crashed: make([]bool, n),
-		Errs:    make([]error, n),
+	if res == nil {
+		res = &Result{}
 	}
+	res.reset(n)
 
 	live := n
-	parked := make(map[int]func() bool, n)
+	parked := r.parked
 	for live > 0 {
 		// Gather until every live process is parked at a step request.
 		for len(parked) < live {
@@ -220,12 +271,17 @@ func Run(cfg Config, procs []ProcFunc) (*Result, error) {
 			break
 		}
 
-		enabled := make([]int, 0, len(parked))
+		// Build the enabled set in the Result's flat arena. The
+		// three-index slice keeps later appends from aliasing this
+		// set; sets already stored in EnabledSets stay valid even if
+		// the arena grows (they keep pointing at the old array).
+		base := len(res.enabledArena)
 		for pid, cond := range parked {
 			if cond == nil || cond() {
-				enabled = append(enabled, pid)
+				res.enabledArena = append(res.enabledArena, pid)
 			}
 		}
+		enabled := res.enabledArena[base:len(res.enabledArena):len(res.enabledArena)]
 		sort.Ints(enabled)
 
 		abort := false

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestReducedServerBytesAndStats pins the serving-layer half of the
+// reduced mode: a -reduce server returns byte-identical experiment
+// bodies to an exhaustive one, and its /stats grows an exploration
+// section whose counters show real pruning.
+func TestReducedServerBytesAndStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration")
+	}
+	plain := httptest.NewServer(New(Options{}))
+	defer plain.Close()
+	reduced := httptest.NewServer(New(Options{Reduce: true}))
+	defer reduced.Close()
+
+	for _, format := range []string{"text", "json", "csv"} {
+		path := "/experiments/E2?format=" + format
+		st1, body1 := get(t, plain, path)
+		st2, body2 := get(t, reduced, path)
+		if st1 != http.StatusOK || st2 != http.StatusOK {
+			t.Fatalf("%s: statuses %d and %d", path, st1, st2)
+		}
+		if body1 != body2 {
+			t.Errorf("%s: reduced body diverges from exhaustive:\n--- exhaustive ---\n%s--- reduced ---\n%s",
+				path, body1, body2)
+		}
+	}
+
+	// The exhaustive server must not report an exploration section...
+	var stats StatsResponse
+	_, body := get(t, plain, "/stats")
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Exploration != nil {
+		t.Errorf("exhaustive server reports exploration stats: %+v", stats.Exploration)
+	}
+
+	// ...and the reduced one must report real pruning. E2 was fetched
+	// three times but singleflight/format sharing does not apply across
+	// sequential requests, so just require at least one reduced run.
+	stats = StatsResponse{}
+	_, body = get(t, reduced, "/stats")
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	ex := stats.Exploration
+	if ex == nil {
+		t.Fatal("reduced server has no exploration stats after serving E2")
+	}
+	if ex.ReducedRuns < 1 {
+		t.Errorf("reduced_runs = %d, want >= 1", ex.ReducedRuns)
+	}
+	if ex.Executions == 0 || ex.StatesVisited == 0 || ex.StatesPruned == 0 {
+		t.Errorf("counters missing: %+v", ex)
+	}
+	if ex.Replays >= ex.Executions {
+		t.Errorf("replays %d not below executions %d — memoization saved nothing", ex.Replays, ex.Executions)
+	}
+}

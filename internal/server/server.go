@@ -82,6 +82,14 @@ type Options struct {
 	// otherwise — an override's ids are not the real experiments, so
 	// it opts in explicitly.
 	Shardables map[string]experiments.Shardable
+	// Reduce runs reduced-capable experiments
+	// (experiments.Reduced()) through the canonical-state memoized
+	// explorer (experiments.Options.Reduce). Tables and wire bytes are
+	// unchanged; the explorer's counters accumulate into the /stats
+	// exploration section. Backend execution and prefix slices are
+	// unaffected — slices keep their exhaustive byte-identical
+	// contract.
+	Reduce bool
 	// Journal receives one span per request (keyed by the
 	// Repro-Request-ID header, minted here when absent) and backs
 	// GET /trace/{id}; nil means a private journal with the default
@@ -117,10 +125,17 @@ type Server struct {
 	mu        sync.Mutex
 	cooldowns map[string]cooldownEntry
 
+	reduce bool
+
 	inFlight atomic.Int64
 	requests atomic.Int64
 	statsMu  sync.Mutex
 	perExp   map[string]*expStat
+	// memoMu guards the accumulated reduced-exploration counters
+	// (reducedRuns plus the summed MemoStats) behind /stats.
+	memoMu      sync.Mutex
+	reducedRuns int64
+	memoTotals  sched.MemoStats
 	// endpointLat holds the per-endpoint latency histograms (fixed
 	// key set, built at New): recording is lock-free on the request
 	// path, /stats snapshots them.
@@ -160,6 +175,7 @@ func New(opts Options) *Server {
 		cache:      opts.Cache,
 		timeout:    timeout,
 		backend:    opts.Backend,
+		reduce:     opts.Reduce,
 		shardables: shardables,
 		exploreSem: make(chan struct{}, sliceExploreSlots),
 		journal:    journal,
@@ -520,9 +536,15 @@ func (s *Server) execute(reqID, id string) (experiments.Result, bool, error) {
 			Timeout:  timeout,
 			Registry: s.reg,
 			Cache:    s.cache,
+			Reduce:   s.reduce,
 		})
 		if err != nil {
 			return experiments.Result{}, err
+		}
+		if results[0].Reduced {
+			// Inside the flight: counted once per execution, not once
+			// per waiter sharing it.
+			s.recordReduced(results[0].Memo)
 		}
 		return results[0], nil
 	})

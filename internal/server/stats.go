@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/hist"
+	"repro/internal/sched"
 )
 
 // Endpoint labels for the per-endpoint latency histograms: the two
@@ -53,6 +54,22 @@ type StatsResponse struct {
 	// contract: bucket upper bounds, overshooting the true value by at
 	// most hist.Growth (≈18.9%).
 	Endpoints map[string]hist.Snapshot `json:"endpoints"`
+	// Exploration accumulates the memoized explorer's counters over
+	// every reduced run served (Options.Reduce); absent until the first
+	// reduced run.
+	Exploration *StatsExploration `json:"exploration,omitempty"`
+}
+
+// StatsExploration sums the memoized exploration counters
+// (sched.MemoStats) across the reduced runs this process executed —
+// the observability half of the reduced mode: executions accounted,
+// replays actually performed, and the visited/pruned state totals.
+type StatsExploration struct {
+	ReducedRuns   int64 `json:"reduced_runs"`
+	Executions    int64 `json:"executions"`
+	Replays       int64 `json:"replays"`
+	StatesVisited int64 `json:"states_visited"`
+	StatesPruned  int64 `json:"states_pruned"`
 }
 
 // StatsCache mirrors cache.Stats on the wire. The slice_* counters
@@ -119,6 +136,36 @@ func (s *Server) record(endpoint, id string, d time.Duration, failed bool) {
 	st.lat.Record(d)
 }
 
+// recordReduced folds one reduced run's explorer counters into the
+// /stats exploration totals.
+func (s *Server) recordReduced(m sched.MemoStats) {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	s.reducedRuns++
+	s.memoTotals.Executions += m.Executions
+	s.memoTotals.Replays += m.Replays
+	s.memoTotals.StatesVisited += m.StatesVisited
+	s.memoTotals.StatesPruned += m.StatesPruned
+}
+
+// explorationStats snapshots the reduced-run totals, nil before the
+// first reduced run so the section stays absent on exhaustive-only
+// processes.
+func (s *Server) explorationStats() *StatsExploration {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	if s.reducedRuns == 0 {
+		return nil
+	}
+	return &StatsExploration{
+		ReducedRuns:   s.reducedRuns,
+		Executions:    int64(s.memoTotals.Executions),
+		Replays:       int64(s.memoTotals.Replays),
+		StatesVisited: int64(s.memoTotals.StatesVisited),
+		StatesPruned:  int64(s.memoTotals.StatesPruned),
+	}
+}
+
 func millis(d time.Duration) float64 {
 	return float64(d) / float64(time.Millisecond)
 }
@@ -161,6 +208,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:        s.requests.Load(),
 		Experiments:     s.experimentStats(),
 		Endpoints:       s.endpointStats(),
+		Exploration:     s.explorationStats(),
 	}
 	// The engine-facing cache interface has no counters; only stores
 	// that report them (internal/cache.Store) appear in the response.

@@ -41,6 +41,23 @@ func NewAlg2System(plan *Plan) *Alg2System {
 	}
 }
 
+// StateKey fingerprints the system's global state for the memoized
+// explorer (sched.ExploreMemo): each process's component combines its
+// observation history and register contents across both shared
+// memories, and the canonicalizer applies the process-relabelling
+// reduction over the combined components. A process's local state —
+// including a decided output — is a function of the fixed plan, its
+// input, and its joint observation history, all of which the
+// components capture, so equal keys at equal depth imply isomorphic
+// continuations.
+func (s *Alg2System) StateKey() sched.StateKey {
+	var c sched.Canonicalizer
+	for i := 0; i < 2; i++ {
+		c.Proc(sched.MixKey(s.memTask.Component(i), s.memAgree.Component(i)))
+	}
+	return c.Key()
+}
+
 // Proc returns the code of process me ∈ {0,1} with the given task input.
 func (s *Alg2System) Proc(me int, input int) sched.ProcFunc {
 	return func(p *sched.Proc) error {
@@ -258,4 +275,51 @@ func ExploreAlg2Prefixes(plan *Plan, input Pair, workers int, roots [][]int) (in
 		return runs, err
 	}
 	return runs, checkErr
+}
+
+// ExploreAlg2Memo is the memoized analogue of ExploreAlg2
+// (sched.ExploreMemo): the same execution count, with each *visited*
+// leaf validated by CheckRun and pruned subtrees vouched for by their
+// memoized twins — a pruned leaf's canonical state equals a validated
+// one's, and the CheckRun verdict is a function of that state.
+func ExploreAlg2Memo(plan *Plan, input Pair) (sched.MemoStats, error) {
+	return ExploreAlg2MemoPrefixes(plan, input, [][]int{{}})
+}
+
+// ExploreAlg2MemoPrefixes is ExploreAlg2Memo restricted to the
+// subtrees under the given schedule prefixes
+// (sched.ExploreMemoPrefixes). Stats.Executions from any partition of
+// an Alg2Roots root set sum to the ExploreAlg2 total, and a
+// validation violation in any visited leaf surfaces as the slice's
+// error.
+func ExploreAlg2MemoPrefixes(plan *Plan, input Pair, roots [][]int) (sched.MemoStats, error) {
+	// Leaf runs serially inside the explorer's DFS, so checkErr needs
+	// no synchronization. It returns no contribution: the execution
+	// count in MemoStats is the aggregate.
+	var checkErr error
+	factory := func() sched.MemoInstance {
+		sys := NewAlg2System(plan)
+		return sched.MemoInstance{
+			Procs: []sched.ProcFunc{sys.Proc(0, input[0]), sys.Proc(1, input[1])},
+			State: sys.StateKey,
+			Leaf: func(r *sched.Result) any {
+				if checkErr != nil {
+					return nil
+				}
+				if e := r.Err(); e != nil {
+					checkErr = e
+					return nil
+				}
+				if e := CheckRun(plan.Task, input, sys); e != nil {
+					checkErr = fmt.Errorf("schedule %v: %w", r.Decisions, e)
+				}
+				return nil
+			},
+		}
+	}
+	_, stats, err := sched.ExploreMemoPrefixes(factory, sched.MemoOptions{}, roots)
+	if err != nil {
+		return stats, err
+	}
+	return stats, checkErr
 }

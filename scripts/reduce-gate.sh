@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# reduce-gate: the deterministic equivalence gate for the memoized
+# explorer. Runs the two reduced-capable experiments (E2, the
+# exhaustive k=4 Algorithm 1 sweep; E15, the exhaustive Theorem 1.2
+# run) both exhaustively and with `figures -reduce`, and asserts:
+#
+#   1. the tables are byte-identical in text, json, and csv;
+#   2. each reduced run visited strictly fewer states than it
+#      accounted executions, pruned at least one subtree, and
+#      replayed strictly fewer executions than it accounted
+#      (the counters come from the `figures: reduce <id> ...`
+#      stderr lines the CLI emits per reduced experiment);
+#   3. the accounted execution counts match the committed
+#      BENCH_explore.json baseline exactly — the execution count is
+#      part of the experiment's meaning, so a drift here is a
+#      correctness regression, not a perf change.
+#
+# It then reruns the explore microbenchmarks and rewrites
+# BENCH_explore.json (counters + ns/op + speedup), so the committed
+# file tracks exploration throughput the same way BENCH_load.json
+# tracks serving latency. CI runs exactly this via `make reduce-gate`;
+# humans run it the same way. Knobs (all optional): OUT, TIMEOUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_explore.json}
+TIMEOUT=${TIMEOUT:-10m}
+
+# Baseline execution counts, read before the run overwrites $OUT.
+# Bracket indexing, not .E2: jq lexes a bare `E2` as a malformed
+# float exponent and rejects the whole filter.
+base_e2_execs=""
+base_e15_execs=""
+if [ -f "$OUT" ]; then
+  base_e2_execs=$(jq -r '.experiments["E2"].executions // empty' "$OUT" 2>/dev/null || true)
+  base_e15_execs=$(jq -r '.experiments["E15"].executions // empty' "$OUT" 2>/dev/null || true)
+fi
+
+tmp=$(mktemp -d)
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "reduce-gate: FAILED (exit $status)" >&2
+    tail -5 "$tmp"/reduce-*.log >&2 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+  exit "$status"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/figures" ./cmd/figures
+
+# The exhaustive side runs cold once and serves the other two formats
+# from its own cache — the bytes are deterministic, re-exploring per
+# format would triple the slow half. The reduced side re-executes per
+# format by design (reduced-capable experiments bypass the cache), so
+# every format's counter lines come from a real memoized exploration.
+for fmt in text json csv; do
+  "$tmp/figures" -run E2,E15 -jobs 2 -timeout "$TIMEOUT" -format "$fmt" \
+    -cache-dir "$tmp/cache" -o "$tmp/exhaustive.$fmt"
+  "$tmp/figures" -run E2,E15 -timeout "$TIMEOUT" -format "$fmt" \
+    -reduce -o "$tmp/reduced.$fmt" 2> "$tmp/reduce-$fmt.log"
+  cmp "$tmp/exhaustive.$fmt" "$tmp/reduced.$fmt"
+done
+
+# One counter line per reduced experiment per run:
+#   figures: reduce E2 visited=242 pruned=126 replays=146 executions=22080
+counter() { # counter <id> <field>
+  awk -v id="$1" -v field="$2=" \
+    '$1 == "figures:" && $2 == "reduce" && $3 == id {
+       for (i = 4; i <= NF; i++) if (index($i, field) == 1) {
+         sub(field, "", $i); print $i; exit
+       }
+     }' "$tmp/reduce-text.log"
+}
+
+declare -A visited pruned replays execs
+for id in E2 E15; do
+  visited[$id]=$(counter "$id" visited)
+  pruned[$id]=$(counter "$id" pruned)
+  replays[$id]=$(counter "$id" replays)
+  execs[$id]=$(counter "$id" executions)
+  if [ -z "${visited[$id]}" ] || [ -z "${pruned[$id]}" ] ||
+     [ -z "${replays[$id]}" ] || [ -z "${execs[$id]}" ]; then
+    echo "reduce-gate: missing reduce counters for $id in reduce stderr" >&2
+    exit 1
+  fi
+  if [ "${visited[$id]}" -ge "${execs[$id]}" ]; then
+    echo "reduce-gate: $id visited ${visited[$id]} states, not below ${execs[$id]} executions" >&2
+    exit 1
+  fi
+  if [ "${pruned[$id]}" -eq 0 ]; then
+    echo "reduce-gate: $id pruned no subtrees" >&2
+    exit 1
+  fi
+  if [ "${replays[$id]}" -ge "${execs[$id]}" ]; then
+    echo "reduce-gate: $id replayed ${replays[$id]}, memoization saved nothing over ${execs[$id]}" >&2
+    exit 1
+  fi
+  echo "reduce-gate: $id ${execs[$id]} executions accounted from ${replays[$id]} replays" \
+    "(${visited[$id]} states visited, ${pruned[$id]} pruned), tables byte-identical"
+done
+
+# Execution counts are pinned to the committed baseline: they encode
+# what the experiment enumerates, so only a deliberate registry change
+# may move them (update $OUT in the same commit).
+if [ -n "$base_e2_execs" ] && [ "${execs[E2]}" -ne "$base_e2_execs" ]; then
+  echo "reduce-gate: E2 accounted ${execs[E2]} executions, baseline says $base_e2_execs" >&2
+  exit 1
+fi
+if [ -n "$base_e15_execs" ] && [ "${execs[E15]}" -ne "$base_e15_execs" ]; then
+  echo "reduce-gate: E15 accounted ${execs[E15]} executions, baseline says $base_e15_execs" >&2
+  exit 1
+fi
+if [ -z "$base_e2_execs" ]; then
+  echo "reduce-gate: no committed baseline, skipping execution-count pin"
+fi
+
+# The throughput half: serial exhaustive vs memoized on the same E2
+# space. workers=1 is the apples-to-apples reference (the memoized
+# explorer is serial); the workers=N line still runs but is not read.
+go test -run='^$' -bench='^BenchmarkExplore(Parallel|Memoized)$' \
+  -benchtime=1x . | tee "$tmp/bench.txt"
+exhaustive_ns=$(awk '$1 ~ /^BenchmarkExploreParallel\/workers=1/ { print $3; exit }' "$tmp/bench.txt")
+memoized_ns=$(awk '$1 ~ /^BenchmarkExploreMemoized/ { print $3; exit }' "$tmp/bench.txt")
+if [ -z "$exhaustive_ns" ] || [ -z "$memoized_ns" ]; then
+  echo "reduce-gate: could not parse explore benchmark output" >&2
+  exit 1
+fi
+
+jq -n \
+  --argjson e2_visited "${visited[E2]}" --argjson e2_pruned "${pruned[E2]}" \
+  --argjson e2_replays "${replays[E2]}" --argjson e2_execs "${execs[E2]}" \
+  --argjson e15_visited "${visited[E15]}" --argjson e15_pruned "${pruned[E15]}" \
+  --argjson e15_replays "${replays[E15]}" --argjson e15_execs "${execs[E15]}" \
+  --argjson exhaustive_ns "$exhaustive_ns" --argjson memoized_ns "$memoized_ns" \
+  '{
+    experiments: {
+      E2:  {executions: $e2_execs,  replays: $e2_replays,
+            states_visited: $e2_visited,  states_pruned: $e2_pruned},
+      E15: {executions: $e15_execs, replays: $e15_replays,
+            states_visited: $e15_visited, states_pruned: $e15_pruned}
+    },
+    bench: {
+      exhaustive_serial_ns_per_op: $exhaustive_ns,
+      memoized_ns_per_op: $memoized_ns,
+      speedup: (($exhaustive_ns / $memoized_ns * 10 | round) / 10)
+    }
+  }' > "$OUT"
+
+echo "reduce-gate: OK (E2 ${replays[E2]}/${execs[E2]} replays," \
+  "E15 ${replays[E15]}/${execs[E15]} replays," \
+  "$(jq -r '.bench.speedup' "$OUT")x serial speedup) -> $OUT"
