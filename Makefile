@@ -1,7 +1,7 @@
 # Makefile — the commands CI runs are exactly the commands humans run.
 GO ?= go
 
-.PHONY: build test test-short bench bench-json lint figures cover fuzz-smoke load-smoke reduce-gate
+.PHONY: build test test-short bench bench-json lint figures cover fuzz-smoke load-smoke reduce-gate cache-surgery
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ cover:
 # every push.
 load-smoke:
 	./scripts/load-smoke.sh
+
+# cache-surgery proves per-family cache identity on a live fleet: warm
+# a two-worker fleet plus front cache over E1,E2,E7,E15, swap in
+# binaries built with an E2-only space-version bump (ldflags), and the
+# same run must re-execute E2 alone — 3/4 front-cache hits, the other
+# families never reaching the fleet, bytes identical throughout.
+cache-surgery:
+	./scripts/cache-surgery.sh
 
 # reduce-gate proves the memoized explorer equivalent on the real
 # experiments: E2 and E15 run exhaustively and with `figures -reduce`

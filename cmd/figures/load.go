@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,8 +32,9 @@ func runLoad(args []string, stdout, stderr io.Writer) error {
 		qps         = fs.Float64("qps", 50, "target request arrival rate across all targets")
 		duration    = fs.Duration("duration", 10*time.Second, "how long to generate load")
 		warmup      = fs.Duration("warmup", 0, "run the same mix unmeasured first (warms caches; 0 = measure cold)")
-		mixFlag     = fs.String("mix", "whole:1", "traffic mix as kind:weight pairs, e.g. whole:3,slice:1")
+		mixFlag     = fs.String("mix", "whole:1", "traffic mix as kind:weight pairs, e.g. whole:3,param:1,slice:1")
 		exps        = fs.String("experiments", "", "comma-separated experiment ids to spread requests over, optionally weighted (E1:3); default: every registered experiment")
+		paramPoints = fs.String("param-points", "", "comma-separated parameter points param-kind requests cycle through, as family:name=value pairs joined with + (e.g. E2:k=3+i0=0); default: each listed family's defaults spelled out")
 		concurrency = fs.Int("concurrency", 0, "max in-flight requests (0 = 4×GOMAXPROCS)")
 		sliceRanges = fs.Int("slice-ranges", 4, "prefix ranges each shardable experiment is carved into for slice fetches")
 		format      = fs.String("format", "json", "whole-experiment fetch format: text, json, or csv")
@@ -56,6 +58,13 @@ func runLoad(args []string, stdout, stderr io.Writer) error {
 	ids := shard.SplitList(*exps)
 	if len(ids) == 0 {
 		ids = experiments.IDs()
+	}
+	// The flag separates points with commas and name=value pairs within
+	// a point with "+" (commas are taken); the harness's entry form uses
+	// commas within a point, so translate here.
+	var points []string
+	for _, entry := range shard.SplitList(*paramPoints) {
+		points = append(points, strings.ReplaceAll(entry, "+", ","))
 	}
 
 	// Create the -o file before generating any load: an unwritable
@@ -90,6 +99,7 @@ func runLoad(args []string, stdout, stderr io.Writer) error {
 		RequestTimeout: *reqTimeout,
 		Mix:            mix,
 		Experiments:    ids,
+		ParamPoints:    points,
 		SliceRanges:    *sliceRanges,
 		Format:         *format,
 		Logf:           logf,

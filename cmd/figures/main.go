@@ -7,7 +7,7 @@
 //
 //	figures [-run E3,E7] [-jobs N] [-format text|json|csv] [-timeout D]
 //	        [-cache-dir DIR] [-no-cache] [-workers HOSTS] [-reduce]
-//	        [-o FILE] [-list] [-v]
+//	        [-param k=7,i0=0] [-o FILE] [-list] [-v]
 //	figures load -addr HOSTS [-qps N] [-duration D] [-warmup D]
 //	        [-mix whole:3,slice:1] [-experiments E1,E2,E15] [-o FILE]
 //	figures trace -addr HOSTS [-timeout D] REQUEST_ID
@@ -48,6 +48,18 @@
 // pruned, replays performed vs executions accounted). It is a local
 // engine mode, so it cannot combine with -workers — sharded ranges
 // keep their exhaustive byte-identical contract.
+//
+// -param evaluates one experiment family at one point of its
+// parameter space instead of the fixed registry point: -run must name
+// exactly one parameterized family (E2 or E15), and the value is a
+// comma-separated name=value list validated against the family's
+// schema ("k=3", "c=3,i1=2"); omitted parameters take their defaults,
+// and the default point emits bytes identical to the fixed
+// experiment's. Parameterized points ride every existing mode: they
+// cache under per-point content-addressed keys with -cache-dir, shard
+// across a fleet with -workers (carved at the requested point), and
+// journal with -trace. -reduce stays pinned to the fixed registry
+// points, so it cannot combine with -param.
 //
 // -trace turns on per-request span journaling (internal/trace) for
 // sharded runs: every run gets a request ID, the coordinator journals
@@ -111,6 +123,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers  = fs.String("workers", "", "comma-separated figuresd workers (host:port) to fan the run out to; unreachable workers fall back to local execution, which -jobs governs")
 		traceOn  = fs.Bool("trace", false, "journal per-request spans on sharded runs and print each request's trace id and timeline on stderr (requires -workers)")
 		reduce   = fs.Bool("reduce", false, "run reduced-capable experiments through the canonical-state memoized explorer (byte-identical output, counters on stderr; incompatible with -workers)")
+		param    = fs.String("param", "", "evaluate one family at a parameter point (\"k=7,i0=0\", omitted parameters default); requires -run naming exactly one parameterized family")
 		outFile  = fs.String("o", "", "write output to this file instead of stdout")
 		list     = fs.Bool("list", false, "list experiment ids and exit")
 		verbose  = fs.Bool("v", false, "report per-experiment timing on stderr")
@@ -151,6 +164,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ids = shard.SplitList(*runIDs)
 		if len(ids) == 0 {
 			return fmt.Errorf("-run %q names no experiments", *runIDs)
+		}
+	}
+
+	// A parameter point names one family and one point of its space;
+	// validation happens here so a bad point fails before any file or
+	// fleet is touched.
+	var fam experiments.Family
+	var ps experiments.ParamSet
+	if *param != "" {
+		if *reduce {
+			return fmt.Errorf("-param cannot combine with -reduce (reduction is pinned to the fixed registry points)")
+		}
+		if len(ids) != 1 {
+			return fmt.Errorf("-param requires -run naming exactly one parameterized family")
+		}
+		families := experiments.FamiliesFor(testRegistry)
+		var ok bool
+		if fam, ok = families[ids[0]]; !ok {
+			return fmt.Errorf("experiment %q takes no parameters", ids[0])
+		}
+		var err error
+		if ps, err = experiments.ParseParamList(fam, *param); err != nil {
+			return err
 		}
 	}
 
@@ -195,9 +231,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	start := time.Now()
 	var results []experiments.Result
-	if *workers != "" {
+	switch {
+	case *param != "" && *workers != "":
+		results, err = runShardedParam(shard.SplitList(*workers), fam, ps, opts, stderr, *verbose, *traceOn)
+	case *param != "":
+		results = []experiments.Result{experiments.RunParam(context.Background(), fam, ps, opts)}
+	case *workers != "":
 		results, err = runSharded(shard.SplitList(*workers), ids, opts, stderr, *verbose, *traceOn)
-	} else {
+	default:
 		results, err = experiments.Run(context.Background(), opts)
 	}
 	if err != nil {
@@ -266,6 +307,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 // With traceOn, a span journal is threaded into the coordinator and
 // each request's ID and timeline are reported after the run.
 func runSharded(fleet, ids []string, opts experiments.Options, stderr io.Writer, verbose, traceOn bool) ([]experiments.Result, error) {
+	return shardRun(fleet, opts, stderr, verbose, traceOn,
+		func(ctx context.Context, coord *shard.Coordinator) ([]experiments.Result, error) {
+			return coord.Run(ctx, ids)
+		})
+}
+
+// runShardedParam evaluates one family at one parameter point across
+// the fleet — the -param -workers path — with the same coordinator
+// wiring, trace reporting, and shard summary as runSharded.
+func runShardedParam(fleet []string, fam experiments.Family, ps experiments.ParamSet, opts experiments.Options, stderr io.Writer, verbose, traceOn bool) ([]experiments.Result, error) {
+	return shardRun(fleet, opts, stderr, verbose, traceOn,
+		func(ctx context.Context, coord *shard.Coordinator) ([]experiments.Result, error) {
+			res, err := coord.RunParam(ctx, fam.ID, ps)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Result{res}, nil
+		})
+}
+
+// shardRun builds the coordinator, runs do over it, and reports traces
+// and the fleet summary — the shared frame of every sharded mode.
+func shardRun(fleet []string, opts experiments.Options, stderr io.Writer, verbose, traceOn bool,
+	do func(context.Context, *shard.Coordinator) ([]experiments.Result, error)) ([]experiments.Result, error) {
 	var logf func(format string, args ...any)
 	if verbose {
 		logf = func(format string, args ...any) {
@@ -293,7 +358,7 @@ func runSharded(fleet, ids []string, opts experiments.Options, stderr io.Writer,
 	if err != nil {
 		return nil, err
 	}
-	results, err := coord.Run(context.Background(), ids)
+	results, err := do(context.Background(), coord)
 	if err != nil {
 		return nil, err
 	}

@@ -193,6 +193,7 @@ func newHandler(cacheDir, peers string, timeout time.Duration, reduce bool, logf
 		st := coord.Stats()
 		logf("figuresd: fronting %d/%d peers (local fallback ready)", st.WorkersHealthy, st.WorkersTotal)
 		opts.Backend = coord.RunOne
+		opts.ParamBackend = coord.RunParam
 	}
 	return server.New(opts), nil
 }

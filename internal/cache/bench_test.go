@@ -94,7 +94,7 @@ func BenchmarkSliceCacheColdVsWarm(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		env, err := experiments.NewShardEnvelope("E2", slice, agg)
+		env, err := experiments.NewShardEnvelope("E2", "", slice, agg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +103,7 @@ func BenchmarkSliceCacheColdVsWarm(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			got, ok := s.GetSlice("E2", prefixes)
+			got, ok := s.GetSlice("E2", "", prefixes)
 			if !ok {
 				b.Fatal("warm slice missed")
 			}

@@ -67,7 +67,14 @@ type Options struct {
 	// DefaultMaxBytes. The cap is enforced on Put by evicting the
 	// least-recently-used entries.
 	MaxBytes int64
-	// RegistryVersion defaults to experiments.RegistryVersion.
+	// SpaceVersion resolves one experiment id to the version naming
+	// its cache-identity generation; nil means
+	// experiments.SpaceVersion, the per-family resolver — bumping one
+	// family's code version moves only that family's fingerprints.
+	SpaceVersion func(id string) string
+	// RegistryVersion, when non-empty, pins every experiment to one
+	// constant version instead (the pre-family behaviour; tests use
+	// it). Ignored when SpaceVersion is set.
 	RegistryVersion string
 	// GoVersion defaults to runtime.Version().
 	GoVersion string
@@ -102,31 +109,43 @@ func (s Stats) HitRate() float64 {
 // participates in the fingerprint, and the stored copy must match the
 // store's own key on read — a fingerprint collision or a file copied
 // between stores with different versions is detected and discarded,
-// never served. An empty Prefixes means a whole experiment result;
-// a non-empty Prefixes (the canonical experiments.FormatPrefixes
-// rendering of a root set) means one slice's aggregate. The JSON tags
-// keep the pre-slice envelope form: a whole key marshals exactly as
-// the old four-field key did, so entries written before slices
-// existed still validate.
+// never served. An empty Prefixes means a whole experiment result; a
+// non-empty Prefixes (the canonical experiments.FormatPrefixes
+// rendering of a root set) means one slice's aggregate. An empty
+// Params means the experiment's fixed point; a non-empty Params (the
+// canonical experiments.ParamSet rendering) means one parameter point
+// of its family. SpaceVersion is the per-experiment identity
+// generation (experiments.SpaceVersion) — it keeps the pre-family
+// "registry_version" JSON key, and for an experiment with no family
+// version it IS the registry version, so entries written before
+// per-space identity existed still validate.
 type ArtifactKey struct {
-	ID              string `json:"experiment"`
-	Prefixes        string `json:"prefixes,omitempty"`
-	RegistryVersion string `json:"registry_version"`
-	GoVersion       string `json:"go_version"`
-	ModuleVersion   string `json:"module_version"`
+	ID            string `json:"experiment"`
+	Params        string `json:"params,omitempty"`
+	Prefixes      string `json:"prefixes,omitempty"`
+	SpaceVersion  string `json:"registry_version"`
+	GoVersion     string `json:"go_version"`
+	ModuleVersion string `json:"module_version"`
 }
 
 // Fingerprint returns the hex SHA-256 content address of the key.
-// Whole-result keys hash exactly the four parts the pre-slice scheme
-// hashed — byte-compatible, so an existing store stays warm across
-// the artifact generalization; slice keys append the prefix set as a
-// fifth part. Length-prefixing makes the part stream unambiguous, so
-// neither field boundaries nor the part count can collide.
+// Fixed-point whole-result keys hash exactly the four parts the
+// original scheme hashed — byte-compatible, so an existing store
+// stays warm across both the artifact and the parameter
+// generalizations; slice keys append the prefix set as a fifth part,
+// and parameter points append the literal tag "params" plus the
+// canonical rendering (the tag keeps a params-only key from ever
+// colliding with a prefixes-only key). Length-prefixing makes the
+// part stream unambiguous, so neither field boundaries nor the part
+// count can collide.
 func (k ArtifactKey) Fingerprint() string {
 	h := sha256.New()
-	parts := []string{k.ID, k.RegistryVersion, k.GoVersion, k.ModuleVersion}
+	parts := []string{k.ID, k.SpaceVersion, k.GoVersion, k.ModuleVersion}
 	if k.Prefixes != "" {
 		parts = append(parts, k.Prefixes)
+	}
+	if k.Params != "" {
+		parts = append(parts, "params", k.Params)
 	}
 	for _, part := range parts {
 		// Length-prefix each part so ("a", "bc") and ("ab", "c")
@@ -153,13 +172,19 @@ type envelope struct {
 type Store struct {
 	dir      string
 	maxBytes int64
-	key      ArtifactKey // ID and Prefixes empty; filled per artifact
+	// key is the per-artifact template (ID, Params, Prefixes, and
+	// SpaceVersion filled per artifact by keyFor).
+	key          ArtifactKey
+	spaceVersion func(id string) string
 
 	mu    sync.Mutex
 	stats Stats
 }
 
-var _ experiments.SliceCache = (*Store)(nil)
+var (
+	_ experiments.SliceCache = (*Store)(nil)
+	_ experiments.ParamCache = (*Store)(nil)
+)
 
 // Open creates dir if needed and returns a store over it.
 func Open(dir string, opts Options) (*Store, error) {
@@ -172,8 +197,17 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.MaxBytes <= 0 {
 		opts.MaxBytes = DefaultMaxBytes
 	}
-	if opts.RegistryVersion == "" {
-		opts.RegistryVersion = experiments.RegistryVersion
+	// Identity resolution order: an explicit per-space resolver, a
+	// pinned constant (tests and byte-compat callers), then the
+	// per-family default.
+	spaceVersion := opts.SpaceVersion
+	if spaceVersion == nil {
+		if opts.RegistryVersion != "" {
+			pinned := opts.RegistryVersion
+			spaceVersion = func(string) string { return pinned }
+		} else {
+			spaceVersion = experiments.SpaceVersion
+		}
 	}
 	if opts.GoVersion == "" {
 		opts.GoVersion = runtime.Version()
@@ -183,12 +217,12 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	sweepStaleTemps(dir)
 	return &Store{
-		dir:      dir,
-		maxBytes: opts.MaxBytes,
+		dir:          dir,
+		maxBytes:     opts.MaxBytes,
+		spaceVersion: spaceVersion,
 		key: ArtifactKey{
-			RegistryVersion: opts.RegistryVersion,
-			GoVersion:       opts.GoVersion,
-			ModuleVersion:   opts.ModuleVersion,
+			GoVersion:     opts.GoVersion,
+			ModuleVersion: opts.ModuleVersion,
 		},
 	}, nil
 }
@@ -201,12 +235,16 @@ func buildModuleVersion() string {
 	return "unknown"
 }
 
-// keyFor returns the full artifact key for one experiment id and
-// prefix set ("" = the whole result).
-func (s *Store) keyFor(id, prefixes string) ArtifactKey {
+// keyFor returns the full artifact key for one experiment id,
+// parameter point ("" = the fixed point), and prefix set ("" = the
+// whole result), resolving the id's space version through the store's
+// per-family resolver.
+func (s *Store) keyFor(id, params, prefixes string) ArtifactKey {
 	k := s.key
 	k.ID = id
+	k.Params = params
 	k.Prefixes = prefixes
+	k.SpaceVersion = s.spaceVersion(id)
 	return k
 }
 
@@ -256,10 +294,15 @@ func (s *Store) rejectEntry(k ArtifactKey) {
 // schema, mismatched key, bad checksum, undecodable payload, or a
 // stored failure — are deleted and reported as corrupt misses.
 func (s *Store) Get(id string) (experiments.Result, bool) {
-	k := s.keyFor(id, "")
+	return s.getResult(s.keyFor(id, "", ""))
+}
+
+// getResult is the shared lookup behind Get and GetParam: one whole
+// result under one fully-resolved key, counted in Hits/Misses.
+func (s *Store) getResult(k ArtifactKey) (experiments.Result, bool) {
 	payload, ok, corrupt := s.readEntry(k)
 	if ok {
-		res, err := decodeResult(payload, id)
+		res, err := decodeResult(payload, k.ID)
 		if err == nil {
 			s.count(func(st *Stats) { st.Hits++ })
 			return res, true
@@ -294,23 +337,24 @@ func decodeResult(payload []byte, id string) (experiments.Result, error) {
 }
 
 // GetSlice implements experiments.SliceCache: it returns the stored
-// shard envelope for one slice of one experiment's exploration space.
-// The same trust rules as Get apply — an entry whose payload is not a
-// shard envelope for exactly this id, prefix set, and registry
-// generation is deleted and reported as a corrupt miss, so a corrupt
-// slice re-explores one range, never the whole space.
-func (s *Store) GetSlice(id, prefixes string) (experiments.ShardEnvelope, bool) {
+// shard envelope for one slice of one experiment's exploration space
+// at one parameter point ("" = the fixed point). The same trust rules
+// as Get apply — an entry whose payload is not a shard envelope for
+// exactly this id, parameter point, prefix set, and space generation
+// is deleted and reported as a corrupt miss, so a corrupt slice
+// re-explores one range, never the whole space.
+func (s *Store) GetSlice(id, params, prefixes string) (experiments.ShardEnvelope, bool) {
 	if prefixes == "" {
 		// The whole space is a whole result; there is no empty slice.
 		s.count(func(st *Stats) { st.SliceMisses++ })
 		return experiments.ShardEnvelope{}, false
 	}
-	k := s.keyFor(id, prefixes)
+	k := s.keyFor(id, params, prefixes)
 	payload, ok, corrupt := s.readEntry(k)
 	if ok {
 		env, err := experiments.DecodeShard(bytes.NewReader(payload))
 		if err == nil && env.ID == id && env.Prefixes == prefixes &&
-			env.RegistryVersion == s.key.RegistryVersion {
+			env.Params == params && env.SpaceVersion == k.SpaceVersion {
 			s.count(func(st *Stats) { st.SliceHits++ })
 			return env, true
 		}
@@ -337,26 +381,56 @@ func (s *Store) Put(id string, r experiments.Result) error {
 	if err := experiments.EncodeJSON(&encoded, []experiments.Result{r}); err != nil {
 		return err
 	}
-	return s.write(s.keyFor(id, ""), encoded.Bytes())
+	return s.write(s.keyFor(id, "", ""), encoded.Bytes())
+}
+
+// GetParam implements experiments.ParamCache: it returns the stored
+// whole result of one experiment family at one canonical parameter
+// point. The empty point is the family's fixed experiment — it
+// delegates to Get, so a parameterized request at the default point
+// and a fixed request share one entry.
+func (s *Store) GetParam(id, params string) (experiments.Result, bool) {
+	if params == "" {
+		return s.Get(id)
+	}
+	return s.getResult(s.keyFor(id, params, ""))
+}
+
+// PutParam implements experiments.ParamCache, storing one parameter
+// point's whole result; the empty point delegates to Put.
+func (s *Store) PutParam(id, params string, r experiments.Result) error {
+	if params == "" {
+		return s.Put(id, r)
+	}
+	if r.Err != nil || r.Table == nil {
+		return fmt.Errorf("cache: refusing to store failed result %s?%s", id, params)
+	}
+	r.ID = id
+	var encoded bytes.Buffer
+	if err := experiments.EncodeJSON(&encoded, []experiments.Result{r}); err != nil {
+		return err
+	}
+	return s.write(s.keyFor(id, params, ""), encoded.Bytes())
 }
 
 // PutSlice implements experiments.SliceCache: it stores one slice's
-// shard envelope under the artifact key derived from its id and
-// prefix set. An envelope from a different registry generation is
-// refused — its numbers describe a different space, and storing it
-// under this store's key would serve them as this generation's.
+// shard envelope under the artifact key derived from its id,
+// parameter point, and prefix set. An envelope from a different space
+// generation is refused — its numbers describe a different space, and
+// storing it under this store's key would serve them as this
+// generation's.
 func (s *Store) PutSlice(env experiments.ShardEnvelope) error {
 	if env.ID == "" || env.Prefixes == "" || len(env.Aggregate) == 0 {
 		return fmt.Errorf("cache: refusing to store incomplete slice envelope %+v", env)
 	}
-	if env.RegistryVersion != s.key.RegistryVersion {
-		return fmt.Errorf("cache: slice envelope registry %s, store %s", env.RegistryVersion, s.key.RegistryVersion)
+	if want := s.spaceVersion(env.ID); env.SpaceVersion != want {
+		return fmt.Errorf("cache: slice envelope space %s, store %s", env.SpaceVersion, want)
 	}
 	payload, err := json.Marshal(env)
 	if err != nil {
 		return err
 	}
-	if err := s.write(s.keyFor(env.ID, env.Prefixes), payload); err != nil {
+	if err := s.write(s.keyFor(env.ID, env.Params, env.Prefixes), payload); err != nil {
 		return err
 	}
 	s.count(func(st *Stats) { st.SliceStores++ })

@@ -173,8 +173,8 @@ func TestMismatchedEntryKeyRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := v1.path(v1.keyFor("E1", ""))
-	dst := v2.path(v2.keyFor("E1", ""))
+	src := v1.path(v1.keyFor("E1", "", ""))
+	dst := v2.path(v2.keyFor("E1", "", ""))
 	raw, err := os.ReadFile(src)
 	if err != nil {
 		t.Fatal(err)
@@ -191,8 +191,8 @@ func TestMismatchedEntryKeyRejected(t *testing.T) {
 }
 
 func TestFingerprintSeparatesFields(t *testing.T) {
-	a := ArtifactKey{ID: "E1", RegistryVersion: "v1"}
-	b := ArtifactKey{ID: "E1v", RegistryVersion: "1"}
+	a := ArtifactKey{ID: "E1", SpaceVersion: "v1"}
+	b := ArtifactKey{ID: "E1v", SpaceVersion: "1"}
 	if a.Fingerprint() == b.Fingerprint() {
 		t.Fatal("field boundaries not separated in the fingerprint")
 	}
@@ -203,8 +203,8 @@ func TestFingerprintSeparatesFields(t *testing.T) {
 	// pathological spelling where the prefix set leaks into another
 	// field: the part stream is length-prefixed, so the part count
 	// parses unambiguously.
-	s := ArtifactKey{ID: "E1", RegistryVersion: "v1", Prefixes: "0.1,1"}
-	twisted := ArtifactKey{ID: "E1", RegistryVersion: "v1", ModuleVersion: "5:0.1,1"}
+	s := ArtifactKey{ID: "E1", SpaceVersion: "v1", Prefixes: "0.1,1"}
+	twisted := ArtifactKey{ID: "E1", SpaceVersion: "v1", ModuleVersion: "5:0.1,1"}
 	if s.Fingerprint() == a.Fingerprint() || s.Fingerprint() == twisted.Fingerprint() {
 		t.Fatal("slice key collides with a whole key")
 	}
@@ -361,10 +361,10 @@ func sliceEnvelope(t *testing.T, id, prefixes string) experiments.ShardEnvelope 
 		t.Fatal(err)
 	}
 	return experiments.ShardEnvelope{
-		ID:              id,
-		RegistryVersion: experiments.RegistryVersion,
-		Prefixes:        experiments.FormatPrefixes(roots),
-		Aggregate:       json.RawMessage(`{"execs":7}`),
+		ID:           id,
+		SpaceVersion: experiments.RegistryVersion,
+		Prefixes:     experiments.FormatPrefixes(roots),
+		Aggregate:    json.RawMessage(`{"execs":7}`),
 	}
 }
 
@@ -374,13 +374,13 @@ func sliceEnvelope(t *testing.T, id, prefixes string) experiments.ShardEnvelope 
 // written before slice artifacts existed stays warm.
 func TestFingerprintBackCompat(t *testing.T) {
 	k := ArtifactKey{
-		ID:              "E2",
-		RegistryVersion: "e1-e14/v1",
-		GoVersion:       "go1.22.0",
-		ModuleVersion:   "repro@(devel)",
+		ID:            "E2",
+		SpaceVersion:  "e1-e14/v1",
+		GoVersion:     "go1.22.0",
+		ModuleVersion: "repro@(devel)",
 	}
 	h := sha256.New()
-	for _, part := range []string{k.ID, k.RegistryVersion, k.GoVersion, k.ModuleVersion} {
+	for _, part := range []string{k.ID, k.SpaceVersion, k.GoVersion, k.ModuleVersion} {
 		fmt.Fprintf(h, "%d:%s", len(part), part)
 	}
 	if want := hex.EncodeToString(h.Sum(nil)); k.Fingerprint() != want {
@@ -403,14 +403,14 @@ func TestLegacyEnvelopeStillHits(t *testing.T) {
 		t.Fatal(err)
 	}
 	sum := sha256.Sum256(compact.Bytes())
-	k := s.keyFor("E1", "")
+	k := s.keyFor("E1", "", "")
 	// Hand-build the old envelope shape: the key object spelled with
 	// exactly the four legacy fields.
 	raw, err := json.Marshal(map[string]any{
 		"schema": schemaVersion,
 		"key": map[string]string{
 			"experiment":       k.ID,
-			"registry_version": k.RegistryVersion,
+			"registry_version": k.SpaceVersion,
 			"go_version":       k.GoVersion,
 			"module_version":   k.ModuleVersion,
 		},
@@ -438,11 +438,11 @@ func TestSlicePutGetRoundTrip(t *testing.T) {
 	if err := s.PutSlice(env); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.GetSlice("E2", "0.1,1")
+	got, ok := s.GetSlice("E2", "", "0.1,1")
 	if !ok {
 		t.Fatal("GetSlice missed a fresh PutSlice")
 	}
-	if got.ID != "E2" || got.Prefixes != "0.1,1" || got.RegistryVersion != experiments.RegistryVersion {
+	if got.ID != "E2" || got.Prefixes != "0.1,1" || got.SpaceVersion != experiments.RegistryVersion {
 		t.Fatalf("envelope mangled: %+v", got)
 	}
 	var agg struct {
@@ -458,10 +458,10 @@ func TestSlicePutGetRoundTrip(t *testing.T) {
 	if _, ok := s.Get("E2"); ok {
 		t.Fatal("slice entry served as a whole result")
 	}
-	if _, ok := s.GetSlice("E2", "0.1"); ok {
+	if _, ok := s.GetSlice("E2", "", "0.1"); ok {
 		t.Fatal("wrong prefix set hit")
 	}
-	if _, ok := s.GetSlice("E2", ""); ok {
+	if _, ok := s.GetSlice("E2", "", ""); ok {
 		t.Fatal("empty prefix set is not a slice")
 	}
 }
@@ -469,12 +469,12 @@ func TestSlicePutGetRoundTrip(t *testing.T) {
 func TestPutSliceRefusals(t *testing.T) {
 	s := mustOpen(t, Options{})
 	wrongGen := sliceEnvelope(t, "E2", "0")
-	wrongGen.RegistryVersion = "other-gen/v9"
+	wrongGen.SpaceVersion = "other-gen/v9"
 	for name, env := range map[string]experiments.ShardEnvelope{
 		"wrong generation": wrongGen,
-		"no id":            {Prefixes: "0", RegistryVersion: experiments.RegistryVersion, Aggregate: json.RawMessage(`{}`)},
-		"no prefixes":      {ID: "E2", RegistryVersion: experiments.RegistryVersion, Aggregate: json.RawMessage(`{}`)},
-		"no aggregate":     {ID: "E2", Prefixes: "0", RegistryVersion: experiments.RegistryVersion},
+		"no id":            {Prefixes: "0", SpaceVersion: experiments.RegistryVersion, Aggregate: json.RawMessage(`{}`)},
+		"no prefixes":      {ID: "E2", SpaceVersion: experiments.RegistryVersion, Aggregate: json.RawMessage(`{}`)},
+		"no aggregate":     {ID: "E2", Prefixes: "0", SpaceVersion: experiments.RegistryVersion},
 	} {
 		if err := s.PutSlice(env); err == nil {
 			t.Errorf("PutSlice accepted %s", name)
@@ -503,7 +503,7 @@ func TestCorruptSliceIsAMissAndRemoved(t *testing.T) {
 	if err := s.PutSlice(sliceEnvelope(t, "E2", "1")); err != nil {
 		t.Fatal(err)
 	}
-	victim := s.path(s.keyFor("E2", "1"))
+	victim := s.path(s.keyFor("E2", "", "1"))
 	raw, err := os.ReadFile(victim)
 	if err != nil {
 		t.Fatal(err)
@@ -512,7 +512,7 @@ func TestCorruptSliceIsAMissAndRemoved(t *testing.T) {
 	if err := os.WriteFile(victim, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.GetSlice("E2", "1"); ok {
+	if _, ok := s.GetSlice("E2", "", "1"); ok {
 		t.Fatal("served a corrupted slice")
 	}
 	if _, err := os.Stat(victim); !os.IsNotExist(err) {
@@ -521,7 +521,7 @@ func TestCorruptSliceIsAMissAndRemoved(t *testing.T) {
 	if st := s.Stats(); st.SliceMisses != 1 || st.Corrupt != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if _, ok := s.GetSlice("E2", "0"); !ok {
+	if _, ok := s.GetSlice("E2", "", "0"); !ok {
 		t.Fatal("healthy sibling slice lost")
 	}
 	if _, ok := s.Get("E2"); !ok {
@@ -539,7 +539,7 @@ func TestSlicePayloadKindsDontCross(t *testing.T) {
 	}
 	// Rewrite the slice entry under the whole key, fixing the recorded
 	// key so only the payload kind is wrong.
-	raw, err := os.ReadFile(s.path(s.keyFor("E2", "0")))
+	raw, err := os.ReadFile(s.path(s.keyFor("E2", "", "0")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -547,7 +547,7 @@ func TestSlicePayloadKindsDontCross(t *testing.T) {
 	if err := json.Unmarshal(raw, &env); err != nil {
 		t.Fatal(err)
 	}
-	env.Key = s.keyFor("E2", "")
+	env.Key = s.keyFor("E2", "", "")
 	forged, err := json.Marshal(env)
 	if err != nil {
 		t.Fatal(err)
@@ -592,19 +592,19 @@ func TestMixedEviction(t *testing.T) {
 	if _, ok := s.Get("E1"); !ok {
 		t.Fatal("whole entry missed")
 	}
-	if _, ok := s.GetSlice("E2", "0"); !ok {
+	if _, ok := s.GetSlice("E2", "", "0"); !ok {
 		t.Fatal("slice entry missed")
 	}
 	if err := s.PutSlice(sliceEnvelope(t, "E2", "2")); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.GetSlice("E2", "1"); ok {
+	if _, ok := s.GetSlice("E2", "", "1"); ok {
 		t.Fatal("LRU slice survived a mixed eviction")
 	}
 	if _, ok := s.Get("E1"); !ok {
 		t.Fatal("recently used whole entry evicted")
 	}
-	if _, ok := s.GetSlice("E2", "0"); !ok {
+	if _, ok := s.GetSlice("E2", "", "0"); !ok {
 		t.Fatal("recently used slice evicted")
 	}
 	if st := s.Stats(); st.Evicted == 0 {

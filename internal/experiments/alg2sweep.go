@@ -31,17 +31,22 @@ const (
 
 var e15Input = task.Pair{0, 1}
 
-// e15Plan builds E15's execution plan. Plan construction is
-// deterministic and cheap next to the exploration, so every caller
-// (runner, roots, explore, finish) rebuilds it rather than sharing
-// mutable state.
-func e15Plan() (*task.Plan, error) {
-	tk := task.ChoiceTask(e15Choice)
+// e15Plan builds E15's execution plan at one choice-task size. Plan
+// construction is deterministic and cheap next to the exploration, so
+// every caller (runner, roots, explore, finish) rebuilds it rather
+// than sharing mutable state.
+func e15Plan(choice int) (*task.Plan, error) {
+	tk := task.ChoiceTask(choice)
 	sub, ok := tk.FindSolvableSubset()
 	if !ok {
 		return nil, fmt.Errorf("experiments: task %s not solvable", tk.Name)
 	}
 	return tk.BuildPlan(sub)
+}
+
+// e15InputOf extracts E15's input pair from a point of its family.
+func e15InputOf(ps ParamSet) task.Pair {
+	return task.Pair{ps.Int("i0"), ps.Int("i1")}
 }
 
 // alg2SweepAgg is the order-insensitive aggregate of the exhaustive
@@ -62,11 +67,14 @@ func (a *alg2SweepAgg) Merge(other Aggregate) error {
 	return nil
 }
 
-// finishE15 renders E15's table from a fully-merged aggregate — the
-// one rendering path shared by the local runner and the sharded
-// merge, which is what makes their bytes identical.
-func finishE15(a *alg2SweepAgg) (*Table, error) {
-	plan, err := e15Plan()
+// finishE15 renders the E15 family's table at one (choice, input)
+// point from a fully-merged aggregate — the one rendering path shared
+// by the local runner, the sharded merge, and every parameterized
+// point, which is what makes their bytes identical. At the default
+// point (e15Choice, e15Input) the rendering is byte-for-byte the fixed
+// E15 table's.
+func finishE15(a *alg2SweepAgg, choice int, input task.Pair) (*Table, error) {
+	plan, err := e15Plan(choice)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +85,7 @@ func finishE15(a *alg2SweepAgg) (*Table, error) {
 	}
 	t.Rows = append(t.Rows,
 		[]string{"task", plan.Task.Name},
-		[]string{"input", fmt.Sprintf("(%d, %d)", e15Input[0], e15Input[1])},
+		[]string{"input", fmt.Sprintf("(%d, %d)", input[0], input[1])},
 		[]string{"path length L", itoa(plan.L)},
 		[]string{"ε-agreement k = L/2", itoa(plan.L / 2)},
 		[]string{"interleavings validated", itoa(a.Execs)},
@@ -87,40 +95,52 @@ func finishE15(a *alg2SweepAgg) (*Table, error) {
 	return t, nil
 }
 
-// Theorem12Exhaustive (E15) runs the whole sweep through the same
-// aggregate-and-finish path a prefix-sharded run merges through.
-// Serial inner exploration, like every engine-driven runner: the
-// engine owns the concurrency budget one level up.
-func Theorem12Exhaustive() (*Table, error) {
-	plan, err := e15Plan()
+// runE15At evaluates the E15 family whole at one (choice, input) point
+// — the Family.Run behind GET /experiments/E15?c=... Serial inner
+// exploration, like every engine-driven runner: the engine owns the
+// concurrency budget one level up.
+func runE15At(choice int, input task.Pair) (*Table, error) {
+	plan, err := e15Plan(choice)
 	if err != nil {
 		return nil, err
 	}
-	execs, err := task.ExploreAlg2Prefixes(plan, e15Input, 1, [][]int{{}})
+	execs, err := task.ExploreAlg2Prefixes(plan, input, 1, [][]int{{}})
 	if err != nil {
 		return nil, err
 	}
-	return finishE15(&alg2SweepAgg{Execs: execs})
+	return finishE15(&alg2SweepAgg{Execs: execs}, choice, input)
 }
 
-// e15Shardable is E15's partial-run form. Explore fans out in-process
-// (the slice is this worker's whole job, so the concurrency budget is
-// spent here, unlike the engine-driven serial runner).
+// Theorem12Exhaustive (E15) runs the whole sweep through the same
+// aggregate-and-finish path a prefix-sharded run merges through.
+func Theorem12Exhaustive() (*Table, error) {
+	return runE15At(e15Choice, e15Input)
+}
+
+// e15Shardable is E15's partial-run form at the fixed registry point.
 func e15Shardable() Shardable {
+	return e15ShardableAt(e15Choice, e15Input)
+}
+
+// e15ShardableAt is the partial-run form at one (choice, input) point.
+// Explore fans out in-process (the slice is this worker's whole job,
+// so the concurrency budget is spent here, unlike the engine-driven
+// serial runner).
+func e15ShardableAt(choice int, input task.Pair) Shardable {
 	return Shardable{
 		Roots: func() ([][]int, error) {
-			plan, err := e15Plan()
+			plan, err := e15Plan(choice)
 			if err != nil {
 				return nil, err
 			}
-			return task.Alg2Roots(plan, e15Input, e15ShardDepth)
+			return task.Alg2Roots(plan, input, e15ShardDepth)
 		},
 		Explore: func(roots [][]int) (Aggregate, error) {
-			plan, err := e15Plan()
+			plan, err := e15Plan(choice)
 			if err != nil {
 				return nil, err
 			}
-			execs, err := task.ExploreAlg2Prefixes(plan, e15Input, 0, roots)
+			execs, err := task.ExploreAlg2Prefixes(plan, input, 0, roots)
 			if err != nil {
 				return nil, err
 			}
@@ -143,7 +163,7 @@ func e15Shardable() Shardable {
 			if !ok {
 				return nil, fmt.Errorf("experiments: E15 finish on %T", agg)
 			}
-			return finishE15(a)
+			return finishE15(a, choice, input)
 		},
 	}
 }

@@ -59,11 +59,7 @@ func Figure2Executions() (*Table, error) {
 	// nested worker pools. Standalone callers wanting the fan-out use
 	// agreement.ExploreAlg1Parallel directly; sharded slices go
 	// through Shardables()["E2"].Explore.
-	col := newAlg1Collector()
-	if _, err := agreement.ExploreAlg1(e2K, e2Inputs, col.visit); err != nil {
-		return nil, err
-	}
-	return finishE2(col.agg())
+	return runE2At(e2K, e2Inputs)
 }
 
 // Theorem12Universal (E3) runs Algorithm 2 (3-bit registers) on solvable

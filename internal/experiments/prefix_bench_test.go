@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// bigPrefixSet renders n disjoint depth-2 prefixes ("i.j" over a
+// √n×√n grid) — the coordinator-scale input the O(n log n) overlap
+// check is sized for.
+func bigPrefixSet(n int) string {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	parts := make([]string, 0, n)
+	for i := 0; len(parts) < n; i++ {
+		for j := 0; j < side && len(parts) < n; j++ {
+			parts = append(parts, fmt.Sprintf("%d.%d", i, j))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// BenchmarkParsePrefixes1k measures the parse + overlap check at the
+// ~1k-range scale a large fleet's coordinator emits. The overlap check
+// is sort + adjacent-pair comparison, O(n log n); the quadratic
+// reference below is kept for comparison.
+func BenchmarkParsePrefixes1k(b *testing.B) {
+	s := bigPrefixSet(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParsePrefixes(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParsePrefixes1kQuadraticReference re-runs the overlap
+// check the way the pre-fix implementation did — every pair, O(n²) —
+// over the same parsed roots, so `go test -bench ParsePrefixes1k`
+// shows the two growth rates side by side.
+func BenchmarkParsePrefixes1kQuadraticReference(b *testing.B) {
+	roots, err := ParsePrefixes(bigPrefixSet(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for x := range roots {
+			for y := range roots {
+				if x != y && isIntPrefix(roots[x], roots[y]) {
+					b.Fatal("disjoint set reported overlap")
+				}
+			}
+		}
+	}
+}
+
+// TestParsePrefixesLargeDisjointSet pins the benchmark input's
+// validity and the overlap check's behaviour at scale: 1024 disjoint
+// ranges parse, and planting a single covering prefix anywhere in the
+// set is caught.
+func TestParsePrefixesLargeDisjointSet(t *testing.T) {
+	s := bigPrefixSet(1024)
+	roots, err := ParsePrefixes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1024 {
+		t.Fatalf("parsed %d roots, want 1024", len(roots))
+	}
+	if _, err := ParsePrefixes(s + ",5"); err == nil {
+		t.Fatal("covering prefix \"5\" not detected among 1024 ranges")
+	}
+	if _, err := ParsePrefixes("5," + s); err == nil {
+		t.Fatal("leading covering prefix \"5\" not detected")
+	}
+}

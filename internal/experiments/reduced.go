@@ -76,7 +76,7 @@ func Figure2ExecutionsReduced() (*Table, sched.MemoStats, error) {
 	if a == nil {
 		a = &alg1SweepAgg{}
 	}
-	tab, err := finishE2(a)
+	tab, err := finishE2(a, e2K, e2Inputs)
 	return tab, stats, err
 }
 
@@ -85,7 +85,7 @@ func Figure2ExecutionsReduced() (*Table, sched.MemoStats, error) {
 // vouched for by their memoized twins, and the exhaustive execution
 // count recovered from the explorer's accounting.
 func Theorem12ExhaustiveReduced() (*Table, sched.MemoStats, error) {
-	plan, err := e15Plan()
+	plan, err := e15Plan(e15Choice)
 	if err != nil {
 		return nil, sched.MemoStats{}, err
 	}
@@ -93,6 +93,6 @@ func Theorem12ExhaustiveReduced() (*Table, sched.MemoStats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
-	tab, err := finishE15(&alg2SweepAgg{Execs: stats.Executions})
+	tab, err := finishE15(&alg2SweepAgg{Execs: stats.Executions}, e15Choice, e15Input)
 	return tab, stats, err
 }

@@ -65,8 +65,10 @@ type SliceCache interface {
 	// GetSlice returns the stored envelope for one slice. ok reports a
 	// usable hit; implementations must return ok == false (never a
 	// stale, corrupt, or wrong-generation envelope) otherwise. The
-	// prefixes string is the canonical FormatPrefixes rendering.
-	GetSlice(id, prefixes string) (ShardEnvelope, bool)
+	// prefixes string is the canonical FormatPrefixes rendering;
+	// params is the canonical ParamSet rendering of the space's
+	// parameter point ("" for a fixed experiment or a default point).
+	GetSlice(id, params, prefixes string) (ShardEnvelope, bool)
 	// PutSlice stores one slice's envelope. Implementations may refuse
 	// (incomplete or wrong-generation envelopes); callers treat errors
 	// as a skipped optimisation, never a failure.
@@ -148,14 +150,36 @@ func ParsePrefixes(s string) ([][]int, error) {
 		}
 		roots[i] = root
 	}
-	for i := range roots {
-		for j := i + 1; j < len(roots); j++ {
-			if isIntPrefix(roots[i], roots[j]) || isIntPrefix(roots[j], roots[i]) {
-				return nil, fmt.Errorf("experiments: overlapping prefixes %q and %q in %q", parts[i], parts[j], s)
-			}
+	// Overlap check in O(n log n): sort an index view of the roots
+	// lexicographically (a prefix sorts immediately before everything
+	// it prefixes) and compare adjacent pairs. If root a is a prefix of
+	// root b anywhere in the set, every root between them in sorted
+	// order also extends a, so a is in particular a prefix of its own
+	// successor — adjacent comparison misses nothing. The returned
+	// slice keeps request order; only the check sorts.
+	order := make([]int, len(roots))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return lessIntSlice(roots[order[a]], roots[order[b]]) })
+	for x := 0; x+1 < len(order); x++ {
+		i, j := order[x], order[x+1]
+		if isIntPrefix(roots[i], roots[j]) {
+			return nil, fmt.Errorf("experiments: overlapping prefixes %q and %q in %q", parts[i], parts[j], s)
 		}
 	}
 	return roots, nil
+}
+
+// lessIntSlice is lexicographic order on int slices, shorter prefixes
+// first.
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }
 
 // isIntPrefix reports whether a is a (non-strict) prefix of b.
@@ -172,30 +196,36 @@ func isIntPrefix(a, b []int) bool {
 }
 
 // ShardEnvelope is the wire form of one slice's aggregate: the body of
-// a GET /experiments/{id}?prefixes=... response. RegistryVersion lets
-// a coordinator detect a fleet running a different experiment
-// generation before trusting its numbers, and Prefixes echoes the
-// slice so a response cannot be silently credited to the wrong range.
+// a GET /experiments/{id}?prefixes=... response. SpaceVersion (kept
+// under the pre-params "registry_version" wire key) lets a coordinator
+// detect a fleet running a different generation of this experiment's
+// space before trusting its numbers; Params and Prefixes echo the
+// parameter point and the slice so a response cannot be silently
+// credited to the wrong space or range.
 type ShardEnvelope struct {
-	ID              string          `json:"id"`
-	RegistryVersion string          `json:"registry_version"`
-	Prefixes        string          `json:"prefixes"`
-	Aggregate       json.RawMessage `json:"aggregate"`
+	ID           string          `json:"id"`
+	SpaceVersion string          `json:"registry_version"`
+	Params       string          `json:"params,omitempty"`
+	Prefixes     string          `json:"prefixes"`
+	Aggregate    json.RawMessage `json:"aggregate"`
 }
 
 // NewShardEnvelope builds the wire envelope of one slice's aggregate
-// under the current registry generation — the value EncodeShard
-// writes, PutSlice stores, and the slice cache serves back.
-func NewShardEnvelope(id string, roots [][]int, agg Aggregate) (ShardEnvelope, error) {
+// under the experiment's current space generation — the value
+// EncodeShard writes, PutSlice stores, and the slice cache serves
+// back. params is the canonical parameter rendering of the space's
+// point, "" for a fixed experiment or a default point.
+func NewShardEnvelope(id, params string, roots [][]int, agg Aggregate) (ShardEnvelope, error) {
 	raw, err := json.Marshal(agg)
 	if err != nil {
 		return ShardEnvelope{}, err
 	}
 	return ShardEnvelope{
-		ID:              id,
-		RegistryVersion: RegistryVersion,
-		Prefixes:        FormatPrefixes(roots),
-		Aggregate:       raw,
+		ID:           id,
+		SpaceVersion: SpaceVersion(id),
+		Params:       params,
+		Prefixes:     FormatPrefixes(roots),
+		Aggregate:    raw,
 	}, nil
 }
 
@@ -211,8 +241,8 @@ func EncodeShardEnvelope(w io.Writer, env ShardEnvelope) error {
 }
 
 // EncodeShard writes the wire form of one slice's aggregate.
-func EncodeShard(w io.Writer, id string, roots [][]int, agg Aggregate) error {
-	env, err := NewShardEnvelope(id, roots, agg)
+func EncodeShard(w io.Writer, id, params string, roots [][]int, agg Aggregate) error {
+	env, err := NewShardEnvelope(id, params, roots, agg)
 	if err != nil {
 		return err
 	}
@@ -335,14 +365,16 @@ func (c *alg1Collector) agg() *alg1SweepAgg {
 	return &alg1SweepAgg{Execs: c.execs, Seen: seen, WorstNum: c.worstNum, MaxSteps: c.maxSteps}
 }
 
-// finishE2 renders Figure 2's table from a fully-merged aggregate —
-// the one rendering path shared by the local runner and the sharded
-// merge, which is what makes their bytes identical.
-func finishE2(a *alg1SweepAgg) (*Table, error) {
-	den := agreement.Alg1Den(e2K)
+// finishE2 renders the E2 family's table at one (k, inputs) point from
+// a fully-merged aggregate — the one rendering path shared by the
+// local runner, the sharded merge, and every parameterized point,
+// which is what makes their bytes identical. At the default point
+// (e2K, e2Inputs) the rendering is byte-for-byte Figure 2's.
+func finishE2(a *alg1SweepAgg, k int, inputs [2]uint64) (*Table, error) {
+	den := agreement.Alg1Den(k)
 	t := &Table{
 		ID:      "E2",
-		Title:   "Figure 2 / Prop 5.1 — Algorithm 1 executions, k=4, inputs (0,1)",
+		Title:   fmt.Sprintf("Figure 2 / Prop 5.1 — Algorithm 1 executions, k=%d, inputs (%d,%d)", k, inputs[0], inputs[1]),
 		Headers: []string{"quantity", "value"},
 	}
 	t.Rows = append(t.Rows,
@@ -350,7 +382,7 @@ func finishE2(a *alg1SweepAgg) (*Table, error) {
 		[]string{"distinct decisions", itoa(len(a.Seen))},
 		[]string{"decision range", fmt.Sprintf("0..%s by 1/%d", rat(den, den), den)},
 		[]string{"worst co-final distance", rat(a.WorstNum, den)},
-		[]string{"max steps per process", fmt.Sprintf("%d (bound 2k+3 = %d)", a.MaxSteps, agreement.Alg1MaxSteps(e2K))},
+		[]string{"max steps per process", fmt.Sprintf("%d (bound 2k+3 = %d)", a.MaxSteps, agreement.Alg1MaxSteps(k))},
 	)
 	if a.WorstNum > 1 {
 		t.Notes = append(t.Notes, "VIOLATION: co-final decisions exceed ε")
@@ -360,17 +392,33 @@ func finishE2(a *alg1SweepAgg) (*Table, error) {
 	return t, nil
 }
 
-// e2Shardable is E2's partial-run form. Explore fans out in-process
-// (the slice is this worker's whole job, so the concurrency budget is
-// spent here, unlike the engine-driven serial runner).
+// runE2At evaluates the E2 family whole at one (k, inputs) point —
+// the Family.Run behind GET /experiments/E2?k=...
+func runE2At(k int, inputs [2]uint64) (*Table, error) {
+	col := newAlg1Collector()
+	if _, err := agreement.ExploreAlg1(k, inputs, col.visit); err != nil {
+		return nil, err
+	}
+	return finishE2(col.agg(), k, inputs)
+}
+
+// e2Shardable is E2's partial-run form at the fixed registry point.
 func e2Shardable() Shardable {
+	return e2ShardableAt(e2K, e2Inputs)
+}
+
+// e2ShardableAt is the partial-run form at one (k, inputs) point.
+// Explore fans out in-process (the slice is this worker's whole job,
+// so the concurrency budget is spent here, unlike the engine-driven
+// serial runner).
+func e2ShardableAt(k int, inputs [2]uint64) Shardable {
 	return Shardable{
 		Roots: func() ([][]int, error) {
-			return agreement.Alg1Roots(e2K, e2Inputs, e2ShardDepth)
+			return agreement.Alg1Roots(k, inputs, e2ShardDepth)
 		},
 		Explore: func(roots [][]int) (Aggregate, error) {
 			col := newAlg1Collector()
-			if _, err := agreement.ExploreAlg1Prefixes(e2K, e2Inputs, 0, roots, col.visit); err != nil {
+			if _, err := agreement.ExploreAlg1Prefixes(k, inputs, 0, roots, col.visit); err != nil {
 				return nil, err
 			}
 			return col.agg(), nil
@@ -399,7 +447,7 @@ func e2Shardable() Shardable {
 			if !ok {
 				return nil, fmt.Errorf("experiments: E2 finish on %T", agg)
 			}
-			return finishE2(a)
+			return finishE2(a, k, inputs)
 		},
 	}
 }

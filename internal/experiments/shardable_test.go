@@ -59,14 +59,14 @@ func TestE2ShardedMergeByteIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
-		if err := EncodeShard(&buf, "E2", rng, agg); err != nil {
+		if err := EncodeShard(&buf, "E2", "", rng, agg); err != nil {
 			t.Fatal(err)
 		}
 		env, err := DecodeShard(&buf)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if env.ID != "E2" || env.RegistryVersion != RegistryVersion {
+		if env.ID != "E2" || env.SpaceVersion != RegistryVersion {
 			t.Fatalf("envelope = %+v", env)
 		}
 		decoded, err := sh.Decode(env.Aggregate)
@@ -237,7 +237,7 @@ func TestE15ShardedMergeByteIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
-		if err := EncodeShard(&buf, "E15", rng, agg); err != nil {
+		if err := EncodeShard(&buf, "E15", "", rng, agg); err != nil {
 			t.Fatal(err)
 		}
 		env, err := DecodeShard(&buf)
@@ -298,10 +298,10 @@ func TestShardEnvelopeCachedReencodeByteIdentical(t *testing.T) {
 	roots := [][]int{{0, 1}, {1}}
 	agg := &alg1SweepAgg{Execs: 4, Seen: []int{0, 9}, WorstNum: 1, MaxSteps: 11}
 	var fresh bytes.Buffer
-	if err := EncodeShard(&fresh, "E2", roots, agg); err != nil {
+	if err := EncodeShard(&fresh, "E2", "", roots, agg); err != nil {
 		t.Fatal(err)
 	}
-	env, err := NewShardEnvelope("E2", roots, agg)
+	env, err := NewShardEnvelope("E2", "", roots, agg)
 	if err != nil {
 		t.Fatal(err)
 	}

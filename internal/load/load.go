@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
 	"strings"
@@ -48,13 +49,17 @@ import (
 	"repro/internal/trace"
 )
 
-// Request kinds: the two serving paths a figuresd fleet exposes. The
+// Request kinds: the serving paths a figuresd fleet exposes. The
 // labels deliberately differ from the server's endpoint labels
-// ("experiment"/"slice") only where the wire does: KindWhole hits the
-// whole-experiment endpoint, KindSlice the prefix-slice one.
+// ("experiment"/"param"/"slice") only where the wire does: KindWhole
+// hits the whole-experiment endpoint, KindParam a parameterized point
+// of a family, KindSlice the prefix-slice one.
 const (
 	// KindWhole fetches a whole experiment table.
 	KindWhole = "whole"
+	// KindParam fetches one parameter point of an experiment family
+	// (GET /experiments/{family}?k=...).
+	KindParam = "param"
 	// KindSlice fetches one prefix range of a shardable experiment's
 	// exploration space.
 	KindSlice = "slice"
@@ -73,9 +78,14 @@ type MixEntry struct {
 }
 
 // ParseMix parses the -mix flag form "whole:3,slice:1" (a bare kind
-// means weight 1) into mix entries.
+// means weight 1) into mix entries. A kind listed more than once has
+// its weights summed into one entry at its first position —
+// "whole:2,slice:1,whole:1" is the rotation of "whole:3,slice:1", not
+// two interleaved whole entries (which would silently skew the
+// rotation's period).
 func ParseMix(s string) ([]MixEntry, error) {
 	var mix []MixEntry
+	index := map[string]int{}
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -90,9 +100,14 @@ func ParseMix(s string) ([]MixEntry, error) {
 			}
 			weight = w
 		}
-		if kind != KindWhole && kind != KindSlice {
-			return nil, fmt.Errorf("load: unknown mix kind %q (want %s or %s)", kind, KindWhole, KindSlice)
+		if kind != KindWhole && kind != KindParam && kind != KindSlice {
+			return nil, fmt.Errorf("load: unknown mix kind %q (want %s, %s, or %s)", kind, KindWhole, KindParam, KindSlice)
 		}
+		if i, ok := index[kind]; ok {
+			mix[i].Weight += weight
+			continue
+		}
+		index[kind] = len(mix)
 		mix = append(mix, MixEntry{Kind: kind, Weight: weight})
 	}
 	if len(mix) == 0 {
@@ -128,6 +143,16 @@ type Options struct {
 	// fetches over, optionally weighted ("E1:3"); slice fetches use
 	// the shardable subset of the same list.
 	Experiments []string
+	// ParamPoints lists the parameter points KindParam requests cycle
+	// through, as "family:k=3,i0=0" entries (the family id, a colon,
+	// then the -param list form). Empty means one point per listed
+	// parameterized family: its defaults spelled out explicitly — the
+	// request exercises the validation and canonicalization path while
+	// sharing the fixed experiment's cache entry.
+	ParamPoints []string
+	// Families maps ids to parameter schemas for param planning; nil
+	// means the default experiments.Families().
+	Families map[string]experiments.Family
 	// SliceRanges is how many contiguous ranges each shardable
 	// experiment's partition is carved into for slice requests; <= 0
 	// means 4 (the two-worker fleet's natural carve).
@@ -233,8 +258,10 @@ type Summary struct {
 type plan struct {
 	kinds  []string // weight-expanded rotation
 	whole  []string // request paths for whole fetches
+	param  []string // request paths for parameterized fetches
 	slice  []string // request paths for slice fetches
 	wholeN atomic.Int64
+	paramN atomic.Int64
 	sliceN atomic.Int64
 }
 
@@ -246,9 +273,13 @@ type plan struct {
 // would then starve some workers of a whole kind.
 func (p *plan) next(i int64) (kind, path string, seq int64) {
 	kind = p.kinds[i%int64(len(p.kinds))]
-	if kind == KindSlice {
+	switch kind {
+	case KindSlice:
 		seq = p.sliceN.Add(1)
 		return kind, p.slice[seq%int64(len(p.slice))], seq
+	case KindParam:
+		seq = p.paramN.Add(1)
+		return kind, p.param[seq%int64(len(p.param))], seq
 	}
 	seq = p.wholeN.Add(1)
 	return kind, p.whole[seq%int64(len(p.whole))], seq
@@ -277,9 +308,34 @@ func buildPlan(opts *Options) (*plan, error) {
 	if shardables == nil {
 		shardables = experiments.Shardables()
 	}
-	needSlice := false
+	families := opts.Families
+	if families == nil {
+		families = experiments.Families()
+	}
+	needSlice, needParam := false, false
 	for _, m := range opts.Mix {
 		needSlice = needSlice || m.Kind == KindSlice
+		needParam = needParam || m.Kind == KindParam
+	}
+	// Explicit param points are planned once, independent of the
+	// experiment list; without them each listed parameterized family
+	// contributes its default point (planned inside the loop below).
+	if needParam && len(opts.ParamPoints) > 0 {
+		for _, entry := range opts.ParamPoints {
+			famID, list, ok := strings.Cut(entry, ":")
+			if !ok || famID == "" {
+				return nil, fmt.Errorf("load: param point %q: want family:name=value,...", entry)
+			}
+			fam, ok := families[famID]
+			if !ok {
+				return nil, fmt.Errorf("load: param point %q: %q is not a parameterized family", entry, famID)
+			}
+			ps, err := experiments.ParseParamList(fam, list)
+			if err != nil {
+				return nil, fmt.Errorf("load: param point %q: %w", entry, err)
+			}
+			p.param = append(p.param, "/experiments/"+famID+"?"+ps.Query()+"&format="+format)
+		}
 	}
 	for _, entry := range opts.Experiments {
 		id, weightStr, hasWeight := strings.Cut(entry, ":")
@@ -293,6 +349,17 @@ func buildPlan(opts *Options) (*plan, error) {
 		}
 		for i := 0; i < weight; i++ {
 			p.whole = append(p.whole, "/experiments/"+id+"?format="+format)
+		}
+		if needParam && len(opts.ParamPoints) == 0 {
+			if fam, ok := families[id]; ok {
+				ps, err := experiments.DefaultParams(fam)
+				if err != nil {
+					return nil, fmt.Errorf("load: defaults for %s: %w", id, err)
+				}
+				for i := 0; i < weight; i++ {
+					p.param = append(p.param, "/experiments/"+id+"?"+ps.Query()+"&format="+format)
+				}
+			}
 		}
 		sh, ok := shardables[id]
 		if !ok || !needSlice {
@@ -326,6 +393,9 @@ func buildPlan(opts *Options) (*plan, error) {
 	if needSlice && len(p.slice) == 0 {
 		return nil, fmt.Errorf("load: mix includes %q but no listed experiment is shardable", KindSlice)
 	}
+	if needParam && len(p.param) == 0 {
+		return nil, fmt.Errorf("load: mix includes %q but no listed experiment is parameterized", KindParam)
+	}
 	return p, nil
 }
 
@@ -336,6 +406,34 @@ func baseURL(addr string) string {
 		addr = "http://" + addr
 	}
 	return addr
+}
+
+// normalizeTargets canonicalizes the target list at configuration
+// time: every address trimmed and normalized to a scheme-full base
+// URL, empties rejected, and duplicates rejected after normalization —
+// "host:1" and "http://host:1/" are the same member, and letting both
+// through would silently skew the round-robin (one server counted as
+// two fleet slots) and double-scrape its /stats.
+func normalizeTargets(targets []string) ([]string, error) {
+	out := make([]string, 0, len(targets))
+	seen := make(map[string]int, len(targets))
+	for i, t := range targets {
+		trimmed := strings.TrimSpace(t)
+		if trimmed == "" {
+			return nil, fmt.Errorf("load: target %d is empty", i+1)
+		}
+		base := baseURL(trimmed)
+		u, err := url.Parse(base)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("load: target %q is not a valid address", t)
+		}
+		if j, ok := seen[base]; ok {
+			return nil, fmt.Errorf("load: duplicate target %q (same as target %d after normalization)", t, j+1)
+		}
+		seen[base] = i
+		out = append(out, base)
+	}
+	return out, nil
 }
 
 // harness is one run's mutable state.
@@ -373,6 +471,10 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 	if len(opts.Targets) == 0 {
 		return nil, fmt.Errorf("load: no targets")
 	}
+	targets, err := normalizeTargets(opts.Targets)
+	if err != nil {
+		return nil, err
+	}
 	if opts.QPS <= 0 {
 		return nil, fmt.Errorf("load: qps must be positive")
 	}
@@ -405,14 +507,12 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 		opts:     &opts,
 		plan:     p,
 		client:   client,
+		targets:  targets,
 		logf:     logf,
-		kindLat:  map[string]*hist.Histogram{KindWhole: hist.New(), KindSlice: hist.New()},
-		kindReqs: map[string]*atomic.Int64{KindWhole: {}, KindSlice: {}},
-		kindErrs: map[string]*atomic.Int64{KindWhole: {}, KindSlice: {}},
-		perTgt:   make([]atomic.Int64, len(opts.Targets)),
-	}
-	for _, t := range opts.Targets {
-		h.targets = append(h.targets, baseURL(t))
+		kindLat:  map[string]*hist.Histogram{KindWhole: hist.New(), KindParam: hist.New(), KindSlice: hist.New()},
+		kindReqs: map[string]*atomic.Int64{KindWhole: {}, KindParam: {}, KindSlice: {}},
+		kindErrs: map[string]*atomic.Int64{KindWhole: {}, KindParam: {}, KindSlice: {}},
+		perTgt:   make([]atomic.Int64, len(targets)),
 	}
 
 	if opts.Warmup > 0 {

@@ -101,7 +101,7 @@ func TestPrefixSliceEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if env.ID != "S1" || env.Prefixes != "1.0,0" || env.RegistryVersion != experiments.RegistryVersion {
+	if env.ID != "S1" || env.Prefixes != "1.0,0" || env.SpaceVersion != experiments.RegistryVersion {
 		t.Fatalf("envelope = %+v", env)
 	}
 	var a prefixAgg

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,13 @@ type Options struct {
 	// someone upstream already carved, so re-delegating it would
 	// bounce work around the fleet instead of doing it.
 	Backend func(ctx context.Context, id string) (experiments.Result, error)
+	// ParamBackend, when non-nil, replaces in-process evaluation of
+	// parameterized points (GET /experiments/{family}?k=...) the way
+	// Backend replaces fixed experiments: cmd/figuresd -peers wires
+	// shard.Coordinator.RunParam in here so non-default points fan out
+	// across the fleet too. Default-point requests never reach it —
+	// they alias the fixed experiment and follow Backend.
+	ParamBackend func(ctx context.Context, id string, ps experiments.ParamSet) (experiments.Result, error)
 	// Shardables maps prefix-shardable experiment ids to their
 	// partial-run seams, enabling GET /experiments/{id}?prefixes=...
 	// (one slice of one experiment's exploration space). nil means the
@@ -82,6 +90,12 @@ type Options struct {
 	// otherwise — an override's ids are not the real experiments, so
 	// it opts in explicitly.
 	Shardables map[string]experiments.Shardable
+	// Families maps experiment ids to their parameterized spaces,
+	// enabling GET /experiments/{family}?param=... nil means
+	// experiments.FamiliesFor(Registry) — the real families when the
+	// registry is the real one, none under an override unless the
+	// override opts in here.
+	Families map[string]experiments.Family
 	// Reduce runs reduced-capable experiments
 	// (experiments.Reduced()) through the canonical-state memoized
 	// explorer (experiments.Options.Reduce). Tables and wire bytes are
@@ -110,17 +124,19 @@ type Options struct {
 //	GET /healthz                             liveness probe
 //	GET /stats                               operational counters (JSON)
 type Server struct {
-	reg        map[string]experiments.Runner
-	ids        []string
-	cache      experiments.Cache
-	timeout    time.Duration
-	backend    func(ctx context.Context, id string) (experiments.Result, error)
-	shardables map[string]experiments.Shardable
-	exploreSem chan struct{}
-	journal    *trace.Journal
-	logf       func(format string, args ...any)
-	flights    flightGroup
-	mux        *http.ServeMux
+	reg          map[string]experiments.Runner
+	ids          []string
+	cache        experiments.Cache
+	timeout      time.Duration
+	backend      func(ctx context.Context, id string) (experiments.Result, error)
+	paramBackend func(ctx context.Context, id string, ps experiments.ParamSet) (experiments.Result, error)
+	shardables   map[string]experiments.Shardable
+	families     map[string]experiments.Family
+	exploreSem   chan struct{}
+	journal      *trace.Journal
+	logf         func(format string, args ...any)
+	flights      flightGroup
+	mux          *http.ServeMux
 
 	mu        sync.Mutex
 	cooldowns map[string]cooldownEntry
@@ -165,26 +181,33 @@ func New(opts Options) *Server {
 	if shardables == nil {
 		shardables = experiments.ShardablesFor(opts.Registry)
 	}
+	families := opts.Families
+	if families == nil {
+		families = experiments.FamiliesFor(opts.Registry)
+	}
 	journal := opts.Journal
 	if journal == nil {
 		journal = trace.NewJournal(0, 0)
 	}
 	s := &Server{
-		reg:        reg,
-		ids:        ids,
-		cache:      opts.Cache,
-		timeout:    timeout,
-		backend:    opts.Backend,
-		reduce:     opts.Reduce,
-		shardables: shardables,
-		exploreSem: make(chan struct{}, sliceExploreSlots),
-		journal:    journal,
-		logf:       logf,
-		mux:        http.NewServeMux(),
-		cooldowns:  make(map[string]cooldownEntry),
-		perExp:     make(map[string]*expStat),
+		reg:          reg,
+		ids:          ids,
+		cache:        opts.Cache,
+		timeout:      timeout,
+		backend:      opts.Backend,
+		paramBackend: opts.ParamBackend,
+		reduce:       opts.Reduce,
+		shardables:   shardables,
+		families:     families,
+		exploreSem:   make(chan struct{}, sliceExploreSlots),
+		journal:      journal,
+		logf:         logf,
+		mux:          http.NewServeMux(),
+		cooldowns:    make(map[string]cooldownEntry),
+		perExp:       make(map[string]*expStat),
 		endpointLat: map[string]*hist.Histogram{
 			EndpointExperiment: hist.New(),
+			EndpointParam:      hist.New(),
 			EndpointSlice:      hist.New(),
 		},
 	}
@@ -207,19 +230,65 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// indexResponse is the /experiments body.
+// indexResponse is the /experiments body. Families describes the
+// parameterized spaces this process serves — the discoverable schema
+// behind GET /experiments/{family}?param=...; experiments without a
+// family entry take no parameters.
 type indexResponse struct {
-	RegistryVersion string   `json:"registry_version"`
-	Experiments     []string `json:"experiments"`
+	RegistryVersion string                 `json:"registry_version"`
+	Experiments     []string               `json:"experiments"`
+	Families        map[string]indexFamily `json:"families,omitempty"`
+}
+
+// indexFamily is one family's index entry: its doc line, space version
+// (the per-family cache-identity generation), and parameter schema.
+type indexFamily struct {
+	Doc          string       `json:"doc,omitempty"`
+	SpaceVersion string       `json:"space_version"`
+	Params       []indexParam `json:"params"`
+}
+
+// indexParam is one parameter's published schema.
+type indexParam struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	Default string  `json:"default"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Doc     string  `json:"doc,omitempty"`
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	var families map[string]indexFamily
+	if len(s.families) > 0 {
+		families = make(map[string]indexFamily, len(s.families))
+		for id, fam := range s.families {
+			entry := indexFamily{
+				Doc:          fam.Doc,
+				SpaceVersion: experiments.SpaceVersion(id),
+				Params:       make([]indexParam, 0, len(fam.Params)),
+			}
+			for _, spec := range fam.Params {
+				entry.Params = append(entry.Params, indexParam{
+					Name:    spec.Name,
+					Kind:    spec.Kind.String(),
+					Default: spec.Default,
+					Min:     spec.Min,
+					Max:     spec.Max,
+					Doc:     spec.Doc,
+				})
+			}
+			sort.Slice(entry.Params, func(a, b int) bool { return entry.Params[a].Name < entry.Params[b].Name })
+			families[id] = entry
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(indexResponse{
 		RegistryVersion: experiments.RegistryVersion,
 		Experiments:     s.ids,
+		Families:        families,
 	})
 }
 
@@ -252,11 +321,38 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
 		return
 	}
-	if prefixes := r.URL.Query().Get("prefixes"); prefixes != "" {
-		s.handlePrefixes(w, r, id, prefixes, start)
+	q := r.URL.Query()
+	// Every query key that is not serving machinery (format, prefixes)
+	// is a parameter of the experiment's family. Parsing validates and
+	// canonicalizes the point; a spelled-out default point comes back
+	// with Canonical "" and follows the fixed experiment's path — one
+	// cache entry, one singleflight — no matter how it was spelled.
+	paramQuery := url.Values{}
+	for name, vals := range q {
+		if name == "format" || name == "prefixes" {
+			continue
+		}
+		paramQuery[name] = vals
+	}
+	var ps experiments.ParamSet
+	if len(paramQuery) > 0 {
+		fam, ok := s.families[id]
+		if !ok {
+			http.Error(w, fmt.Sprintf("experiment %q takes no parameters", id), http.StatusBadRequest)
+			return
+		}
+		var err error
+		ps, err = experiments.ParseParams(fam, paramQuery)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if prefixes := q.Get("prefixes"); prefixes != "" {
+		s.handlePrefixes(w, r, id, ps, prefixes, start)
 		return
 	}
-	format := r.URL.Query().Get("format")
+	format := q.Get("format")
 	if format == "" {
 		format = "text"
 	}
@@ -269,9 +365,17 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 
 	s.requests.Add(1)
 	s.inFlight.Add(1)
-	res, shared, err := s.execute(reqID, id)
+	var res experiments.Result
+	var shared bool
+	endpoint := EndpointExperiment
+	if ps.Canonical() != "" {
+		endpoint = EndpointParam
+		res, shared, err = s.executeParam(reqID, id, ps)
+	} else {
+		res, shared, err = s.execute(reqID, id)
+	}
 	s.inFlight.Add(-1)
-	s.record(EndpointExperiment, id, time.Since(start), err != nil || res.Err != nil)
+	s.record(endpoint, id, time.Since(start), err != nil || res.Err != nil)
 	switch {
 	case shared:
 		s.journal.Add(reqID, trace.Event{Kind: trace.KindCoalesce,
@@ -339,15 +443,30 @@ type sliceOutcome struct {
 // experiment) re-sends the byte-identical prefixes string, and
 // without the cooldown each retry would stack another abandoned
 // full-width explorer pool on the worker.
-func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, prefixes string, start time.Time) {
+func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id string, ps experiments.ParamSet, prefixes string, start time.Time) {
 	if format := r.URL.Query().Get("format"); format != "" && format != "json" {
 		http.Error(w, fmt.Sprintf("prefix slices are JSON only, not %q", format), http.StatusBadRequest)
 		return
 	}
-	sh, ok := s.shardables[id]
-	if !ok {
-		http.Error(w, fmt.Sprintf("experiment %q is not prefix-shardable", id), http.StatusBadRequest)
-		return
+	// At the default point the registered shardable serves (identical
+	// bytes, shared cache entries); a non-default point carves its
+	// family's space at that point.
+	params := ps.Canonical()
+	var sh experiments.Shardable
+	if params == "" {
+		var ok bool
+		sh, ok = s.shardables[id]
+		if !ok {
+			http.Error(w, fmt.Sprintf("experiment %q is not prefix-shardable", id), http.StatusBadRequest)
+			return
+		}
+	} else {
+		fam := s.families[id] // present: handleExperiment parsed ps from it
+		if fam.Shardable == nil {
+			http.Error(w, fmt.Sprintf("experiment %q is not prefix-shardable", id), http.StatusBadRequest)
+			return
+		}
+		sh = fam.Shardable(ps)
 	}
 	roots, err := experiments.ParsePrefixes(prefixes)
 	if err != nil {
@@ -359,14 +478,14 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 
 	s.requests.Add(1)
 	s.inFlight.Add(1)
-	key := id + "\x00" + canonical
+	key := id + "\x00" + params + "\x00" + canonical
 	var val any
 	var shared bool
 	if res, cooling := s.coolingDown(key); cooling {
 		err, shared = res.Err, true
 	} else {
 		val, err, shared = s.flights.Do(key, func() (any, error) {
-			return s.sliceEnvelope(reqID, sh, id, canonical, roots)
+			return s.sliceEnvelope(reqID, sh, id, params, canonical, roots)
 		})
 		if err != nil && !shared && errors.Is(err, context.DeadlineExceeded) {
 			s.startCooldown(key, experiments.Result{Err: err})
@@ -414,10 +533,10 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request, id, pref
 // guards the bytes, Decode guards the semantics. Each decision lands
 // in the journal under reqID — the leader request's ID, since the
 // singleflight runs this once per flight.
-func (s *Server) sliceEnvelope(reqID string, sh experiments.Shardable, id, canonical string, roots [][]int) (sliceOutcome, error) {
+func (s *Server) sliceEnvelope(reqID string, sh experiments.Shardable, id, params, canonical string, roots [][]int) (sliceOutcome, error) {
 	store, _ := s.cache.(experiments.SliceCache)
 	if store != nil {
-		if env, ok := store.GetSlice(id, canonical); ok {
+		if env, ok := store.GetSlice(id, params, canonical); ok {
 			if _, err := sh.Decode(env.Aggregate); err == nil {
 				s.journal.Add(reqID, trace.Event{Kind: trace.KindSliceCacheHit, Range: canonical})
 				return sliceOutcome{env: env, cached: true}, nil
@@ -432,7 +551,7 @@ func (s *Server) sliceEnvelope(reqID string, sh experiments.Shardable, id, canon
 	}
 	s.journal.Add(reqID, trace.Event{Kind: trace.KindExplore, Range: canonical,
 		Detail: fmt.Sprintf("explored in %v", time.Since(exploreStart).Round(time.Microsecond))})
-	env, err := experiments.NewShardEnvelope(id, roots, agg)
+	env, err := experiments.NewShardEnvelope(id, params, roots, agg)
 	if err != nil {
 		return sliceOutcome{}, err
 	}
@@ -554,6 +673,49 @@ func (s *Server) execute(reqID, id string) (experiments.Result, bool, error) {
 	res := val.(experiments.Result)
 	if !shared && res.Err != nil && errors.Is(res.Err, context.DeadlineExceeded) {
 		s.startCooldown(id, res)
+	}
+	return res, shared, nil
+}
+
+// executeParam runs one non-default parameter point through the
+// singleflight group, with the same detached context, timeout, and
+// cooldown contract as execute. The flight and cooldown key is the
+// family id plus the point's canonical rendering, so every spelling of
+// a point shares one execution — and never collides with the fixed
+// experiment's key or a slice's (the literal "params" segment cannot
+// appear in either).
+func (s *Server) executeParam(reqID, id string, ps experiments.ParamSet) (experiments.Result, bool, error) {
+	key := id + "\x00params\x00" + ps.Canonical()
+	if res, ok := s.coolingDown(key); ok {
+		return res, true, nil
+	}
+	val, err, shared := s.flights.Do(key, func() (any, error) {
+		timeout := s.timeout
+		if timeout < 0 {
+			timeout = 0
+		}
+		if s.paramBackend != nil {
+			ctx := trace.WithID(context.Background(), reqID)
+			if timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			return s.paramBackend(ctx, id, ps)
+		}
+		fam := s.families[id]
+		res := experiments.RunParam(context.Background(), fam, ps, experiments.Options{
+			Timeout: timeout,
+			Cache:   s.cache,
+		})
+		return res, nil
+	})
+	if err != nil {
+		return experiments.Result{}, shared, err
+	}
+	res := val.(experiments.Result)
+	if !shared && res.Err != nil && errors.Is(res.Err, context.DeadlineExceeded) {
+		s.startCooldown(key, res)
 	}
 	return res, shared, nil
 }

@@ -121,10 +121,10 @@ func TestSliceStatsOnWire(t *testing.T) {
 func TestSliceStoreRejectedAggregateRecomputed(t *testing.T) {
 	ts, store, explores := newCachedPrefixServer(t)
 	if err := store.PutSlice(experiments.ShardEnvelope{
-		ID:              "S1",
-		RegistryVersion: experiments.RegistryVersion,
-		Prefixes:        "0,1",
-		Aggregate:       json.RawMessage(`{"count":-5,"sum":0}`),
+		ID:           "S1",
+		SpaceVersion: experiments.RegistryVersion,
+		Prefixes:     "0,1",
+		Aggregate:    json.RawMessage(`{"count":-5,"sum":0}`),
 	}); err != nil {
 		t.Fatal(err)
 	}

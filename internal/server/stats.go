@@ -20,6 +20,11 @@ const (
 	// EndpointExperiment is a whole-experiment fetch:
 	// GET /experiments/{id}[?format=...].
 	EndpointExperiment = "experiment"
+	// EndpointParam is a non-default parameterized fetch:
+	// GET /experiments/{family}?k=... (a default point, however
+	// spelled, counts under EndpointExperiment — it is the fixed
+	// experiment).
+	EndpointParam = "param"
 	// EndpointSlice is a prefix-slice fetch:
 	// GET /experiments/{id}?prefixes=...
 	EndpointSlice = "slice"

@@ -26,10 +26,10 @@ func openFrontStore(t *testing.T) (*cache.Store, string, cache.ArtifactKey) {
 		t.Fatal(err)
 	}
 	wholeKey := cache.ArtifactKey{
-		ID:              "E2",
-		RegistryVersion: experiments.RegistryVersion,
-		GoVersion:       "gotest",
-		ModuleVersion:   "repro@test",
+		ID:            "E2",
+		SpaceVersion:  experiments.RegistryVersion,
+		GoVersion:     "gotest",
+		ModuleVersion: "repro@test",
 	}
 	return store, dir, wholeKey
 }

@@ -144,6 +144,13 @@ type Options struct {
 	// it opts in explicitly. An explicit empty map disables prefix
 	// sharding.
 	Shardables map[string]experiments.Shardable
+	// Families maps experiment ids to their parameterized spaces,
+	// enabling RunParam — parameterized points fanned out with the same
+	// carve, failover, and fallback rules as fixed experiments. nil
+	// means experiments.FamiliesFor(Local.Registry): the real families
+	// when the registry is the real one, none under an override unless
+	// it opts in here.
+	Families map[string]experiments.Family
 	// Journal, when non-nil, records every load-bearing decision —
 	// carve, worker selection, fetch, retry, eviction, revival,
 	// registry rejection, cache outcome, local fallback — as span
@@ -264,7 +271,9 @@ type Coordinator struct {
 	localSem    chan struct{}
 	exploreSem  chan struct{}
 	shardables  map[string]experiments.Shardable
+	families    map[string]experiments.Family
 	sliceCache  experiments.SliceCache
+	paramCache  experiments.ParamCache
 	journal     *trace.Journal
 	now         func() time.Time
 	logf        func(format string, args ...any)
@@ -324,13 +333,20 @@ func New(opts Options) (*Coordinator, error) {
 	if shardables == nil {
 		shardables = experiments.ShardablesFor(opts.Local.Registry)
 	}
+	families := opts.Families
+	if families == nil {
+		families = experiments.FamiliesFor(opts.Local.Registry)
+	}
 	now := opts.Now
 	if now == nil {
 		now = time.Now
 	}
 	// A Local.Cache that is an artifact store makes every range
-	// read-through: consulted before dispatch, populated after.
+	// read-through: consulted before dispatch, populated after. A
+	// parameter-aware store additionally fronts RunParam's whole
+	// results; a plain cache degrades non-default points to cold.
 	sliceCache, _ := opts.Local.Cache.(experiments.SliceCache)
+	paramCache, _ := opts.Local.Cache.(experiments.ParamCache)
 	c := &Coordinator{
 		client:      client,
 		reqTimeout:  reqTimeout,
@@ -340,7 +356,9 @@ func New(opts Options) (*Coordinator, error) {
 		localSem:    make(chan struct{}, jobs),
 		exploreSem:  make(chan struct{}, 1),
 		shardables:  shardables,
+		families:    families,
 		sliceCache:  sliceCache,
+		paramCache:  paramCache,
 		journal:     opts.Journal,
 		now:         now,
 		logf:        logf,
@@ -537,17 +555,21 @@ func (c *Coordinator) runOne(ctx context.Context, id string) (experiments.Result
 		ctx = trace.WithID(ctx, reqID)
 	}
 	c.journal.Start(reqID, "run "+id)
-	if sh, ok := c.shardables[id]; ok {
-		if cache := c.local.Cache; cache != nil {
-			if res, ok := cache.Get(id); ok && res.Err == nil && res.Table != nil {
-				res.ID = id
-				res.Cached = true
-				c.journal.Add(reqID, trace.Event{Kind: trace.KindCacheHit, Detail: "coordinator front cache"})
-				return res, nil
-			}
-			c.journal.Add(reqID, trace.Event{Kind: trace.KindCacheMiss, Detail: "coordinator front cache"})
+	// Front-cache read-through applies to every experiment, not just
+	// the shardable ones: a warm front cache must absorb whole fetches
+	// too, or one family's cold start would drag warm families back to
+	// the fleet (the registry-wide cold-start failure mode).
+	if cache := c.local.Cache; cache != nil {
+		if res, ok := cache.Get(id); ok && res.Err == nil && res.Table != nil {
+			res.ID = id
+			res.Cached = true
+			c.journal.Add(reqID, trace.Event{Kind: trace.KindCacheHit, Detail: "coordinator front cache"})
+			return res, nil
 		}
-		if res, done := c.runPrefixSharded(ctx, id, sh); done {
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindCacheMiss, Detail: "coordinator front cache"})
+	}
+	if sh, ok := c.shardables[id]; ok {
+		if res, done := c.runPrefixSharded(ctx, id, experiments.ParamSet{}, sh); done {
 			if c.local.Cache != nil && res.Err == nil {
 				c.local.Cache.Put(id, res) // best-effort, like the engine
 			}
@@ -555,6 +577,120 @@ func (c *Coordinator) runOne(ctx context.Context, id string) (experiments.Result
 		}
 	}
 	return c.runWhole(ctx, id)
+}
+
+// RunParam executes one parameterized point of an experiment family
+// through the fleet: the default point aliases the fixed experiment
+// (same cache entries, same carve), a non-default point is
+// prefix-sharded at that point when the family shards and enough
+// workers can take a range, fetched whole with failover otherwise, and
+// finally evaluated locally — a parameterized run degrades exactly
+// like a fixed one. It is the execution backend cmd/figuresd -peers
+// plugs into internal/server's ParamBackend.
+func (c *Coordinator) RunParam(ctx context.Context, id string, ps experiments.ParamSet) (experiments.Result, error) {
+	params := ps.Canonical()
+	if params == "" {
+		return c.runOne(ctx, id)
+	}
+	fam, ok := c.families[id]
+	if !ok {
+		return experiments.Result{}, fmt.Errorf("shard: experiment %q has no parameter family", id)
+	}
+	reqID := trace.IDFrom(ctx)
+	if reqID == "" && c.journal != nil {
+		reqID = trace.NewID()
+		ctx = trace.WithID(ctx, reqID)
+	}
+	c.journal.Start(reqID, "run "+ps.String())
+	if c.paramCache != nil {
+		if res, ok := c.paramCache.GetParam(id, params); ok && res.Err == nil && res.Table != nil {
+			res.ID = id
+			res.Cached = true
+			c.journal.Add(reqID, trace.Event{Kind: trace.KindCacheHit, Detail: "coordinator front cache"})
+			return res, nil
+		}
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindCacheMiss, Detail: "coordinator front cache"})
+	}
+	if fam.Shardable != nil {
+		if res, done := c.runPrefixSharded(ctx, id, ps, fam.Shardable(ps)); done {
+			if c.paramCache != nil && res.Err == nil {
+				c.paramCache.PutParam(id, params, res) // best-effort, like the engine
+			}
+			return res, nil
+		}
+	}
+	return c.runWholeParam(ctx, fam, ps)
+}
+
+// runWholeParam fetches one non-default parameter point whole, with
+// the whole-experiment failover rules, then falls back to local
+// evaluation through experiments.RunParam (which owns the point's
+// cache read-through).
+func (c *Coordinator) runWholeParam(ctx context.Context, fam experiments.Family, ps experiments.ParamSet) (experiments.Result, error) {
+	id := fam.ID
+	reqID := trace.IDFrom(ctx)
+	tried := make(map[*worker]bool)
+	for attempt := 0; attempt < c.retries; attempt++ {
+		w := c.pick(tried)
+		if w == nil {
+			break // fleet exhausted (or entirely unhealthy)
+		}
+		tried[w] = true
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindWorkerSelected, Worker: w.base,
+			Detail: fmt.Sprintf("in-flight %d", w.inflight.Load())})
+		fetchStart := time.Now()
+		res, err := c.fetchParam(ctx, w, id, ps)
+		w.inflight.Add(-1)
+		if err == nil {
+			c.remote.Add(1)
+			c.journal.Add(reqID, trace.Event{Kind: trace.KindFetch, Worker: w.base,
+				Detail: fmt.Sprintf("fetched point in %v", time.Since(fetchStart).Round(time.Microsecond))})
+			if c.paramCache != nil && res.Err == nil {
+				c.paramCache.PutParam(id, ps.Canonical(), res)
+			}
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return experiments.Result{ID: id, Err: ctx.Err()}, nil
+		}
+		c.failovers.Add(1)
+		c.journal.Add(reqID, trace.Event{Kind: trace.KindRetry, Worker: w.base, Detail: err.Error()})
+		c.logf("shard: %s on %s failed (%v); failing over", ps, w.base, err)
+	}
+	c.journal.Add(reqID, trace.Event{Kind: trace.KindLocalFallback})
+	select {
+	case c.localSem <- struct{}{}:
+	case <-ctx.Done():
+		return experiments.Result{ID: id, Err: ctx.Err()}, nil
+	}
+	defer func() { <-c.localSem }()
+	res := experiments.RunParam(ctx, fam, ps, experiments.Options{
+		Timeout: c.local.Timeout,
+		Cache:   c.local.Cache,
+	})
+	c.localRuns.Add(1)
+	c.logf("shard: %s ran locally", ps)
+	return res, nil
+}
+
+// fetchParam retrieves one parameter point whole from one worker, the
+// explicit query spelling out every parameter so any worker resolves
+// it to the same canonical point.
+func (c *Coordinator) fetchParam(ctx context.Context, w *worker, id string, ps experiments.ParamSet) (experiments.Result, error) {
+	var res experiments.Result
+	path := "/experiments/" + url.PathEscape(id) + "?" + ps.Query() + "&format=json"
+	err := c.fetchWorker(ctx, w, path, func(body io.Reader) error {
+		results, err := experiments.DecodeJSON(body)
+		if err != nil {
+			return err
+		}
+		if len(results) != 1 || results[0].ID != id || results[0].Err != nil || results[0].Table == nil {
+			return fmt.Errorf("unusable result payload")
+		}
+		res = results[0]
+		return nil
+	})
+	return res, err
 }
 
 // runWhole tries up to c.retries distinct workers, least-loaded first,
@@ -577,6 +713,9 @@ func (c *Coordinator) runWhole(ctx context.Context, id string) (experiments.Resu
 			c.remote.Add(1)
 			c.journal.Add(reqID, trace.Event{Kind: trace.KindFetch, Worker: w.base,
 				Detail: fmt.Sprintf("fetched whole in %v", time.Since(fetchStart).Round(time.Microsecond))})
+			if c.local.Cache != nil && res.Err == nil && res.Table != nil {
+				c.local.Cache.Put(id, res) // best-effort, like the engine
+			}
 			return res, nil
 		}
 		if ctx.Err() != nil {
@@ -605,10 +744,12 @@ const minShardWorkers = 2
 // in range order, and render the table. A range whose attempts
 // exhaust the fleet is explored locally — reassigned, never dropped —
 // so the merged table is byte-identical to a local run no matter
-// which workers died along the way. done reports whether the
-// experiment was handled here; carving problems (partition failure,
-// too few workers) fall back to the whole-experiment path.
-func (c *Coordinator) runPrefixSharded(ctx context.Context, id string, sh experiments.Shardable) (experiments.Result, bool) {
+// which workers died along the way. ps is the parameter point the
+// space is carved at — the zero ParamSet for a fixed experiment. done
+// reports whether the experiment was handled here; carving problems
+// (partition failure, too few workers) fall back to the
+// whole-experiment path.
+func (c *Coordinator) runPrefixSharded(ctx context.Context, id string, ps experiments.ParamSet, sh experiments.Shardable) (experiments.Result, bool) {
 	start := c.now()
 	if c.selectableCount() < minShardWorkers {
 		return experiments.Result{}, false
@@ -633,7 +774,7 @@ func (c *Coordinator) runPrefixSharded(ctx context.Context, id string, sh experi
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			aggs[i], errs[i] = c.runRange(ctx, id, sh, ranges[i])
+			aggs[i], errs[i] = c.runRange(ctx, id, ps, sh, ranges[i])
 		}(i)
 	}
 	wg.Wait()
@@ -698,11 +839,12 @@ func splitRanges(roots [][]int, n int) [][][]int {
 // explorer. Every failed attempt reassigns the range — it is never
 // dropped — and every computed aggregate, remote or local, is stored
 // back so the next run of this space starts warm.
-func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Shardable, roots [][]int) (experiments.Aggregate, error) {
+func (c *Coordinator) runRange(ctx context.Context, id string, ps experiments.ParamSet, sh experiments.Shardable, roots [][]int) (experiments.Aggregate, error) {
 	reqID := trace.IDFrom(ctx)
 	prefixes := experiments.FormatPrefixes(roots)
+	params := ps.Canonical()
 	if c.sliceCache != nil {
-		if env, ok := c.sliceCache.GetSlice(id, prefixes); ok {
+		if env, ok := c.sliceCache.GetSlice(id, params, prefixes); ok {
 			// The store vouches for the bytes (checksum, key match);
 			// Decode vouches for the semantics. A rejected aggregate
 			// falls through to a fetch, whose success overwrites it.
@@ -726,7 +868,7 @@ func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Sh
 		c.journal.Add(reqID, trace.Event{Kind: trace.KindWorkerSelected, Worker: w.base, Range: prefixes,
 			Detail: fmt.Sprintf("in-flight %d", w.inflight.Load())})
 		fetchStart := time.Now()
-		agg, env, err := c.fetchSlice(ctx, w, id, sh, prefixes)
+		agg, env, err := c.fetchSlice(ctx, w, id, ps, sh, prefixes)
 		w.inflight.Add(-1)
 		if err == nil {
 			c.prefixRemote.Add(1)
@@ -764,7 +906,7 @@ func (c *Coordinator) runRange(ctx context.Context, id string, sh experiments.Sh
 	c.journal.Add(reqID, trace.Event{Kind: trace.KindExplore, Range: prefixes,
 		Detail: fmt.Sprintf("explored locally in %v", time.Since(exploreStart).Round(time.Microsecond))})
 	c.logf("shard: %s range %s explored locally", id, prefixes)
-	if env, err := experiments.NewShardEnvelope(id, roots, agg); err == nil {
+	if env, err := experiments.NewShardEnvelope(id, params, roots, agg); err == nil {
 		c.storeSlice(reqID, env)
 	}
 	return agg, nil
@@ -789,23 +931,31 @@ func (c *Coordinator) storeSlice(reqID string, env experiments.ShardEnvelope) {
 // under the same in-flight cap, timeout, eviction, and revival rules
 // as a whole-experiment fetch, returning the decoded aggregate and
 // the validated wire envelope (the form the artifact store keeps). A
-// worker serving a different experiment generation (registry version)
-// fails the attempt: its numbers describe a different space.
-func (c *Coordinator) fetchSlice(ctx context.Context, w *worker, id string, sh experiments.Shardable, prefixes string) (experiments.Aggregate, experiments.ShardEnvelope, error) {
+// worker serving a different generation of this experiment's space
+// (per-family SpaceVersion) fails the attempt: its numbers describe a
+// different space — and because the check is per space, a fleet
+// mid-rollout of one family's code keeps serving every other family.
+func (c *Coordinator) fetchSlice(ctx context.Context, w *worker, id string, ps experiments.ParamSet, sh experiments.Shardable, prefixes string) (experiments.Aggregate, experiments.ShardEnvelope, error) {
 	var agg experiments.Aggregate
 	var env experiments.ShardEnvelope
-	path := "/experiments/" + url.PathEscape(id) + "?prefixes=" + url.QueryEscape(prefixes)
+	params := ps.Canonical()
+	query := "?"
+	if pq := ps.Query(); pq != "" {
+		query += pq + "&"
+	}
+	path := "/experiments/" + url.PathEscape(id) + query + "prefixes=" + url.QueryEscape(prefixes)
 	err := c.fetchWorker(ctx, w, path, func(body io.Reader) error {
 		var err error
 		env, err = experiments.DecodeShard(body)
 		if err != nil {
 			return err
 		}
-		if env.ID != id || env.Prefixes != prefixes {
-			return fmt.Errorf("shard envelope for %s %s, want %s %s", env.ID, env.Prefixes, id, prefixes)
+		if env.ID != id || env.Prefixes != prefixes || env.Params != params {
+			return fmt.Errorf("shard envelope for %s %s params %q, want %s %s params %q",
+				env.ID, env.Prefixes, env.Params, id, prefixes, params)
 		}
-		if env.RegistryVersion != experiments.RegistryVersion {
-			return fmt.Errorf("worker registry %s, want %s", env.RegistryVersion, experiments.RegistryVersion)
+		if want := experiments.SpaceVersion(id); env.SpaceVersion != want {
+			return fmt.Errorf("worker space %s, want %s", env.SpaceVersion, want)
 		}
 		agg, err = sh.Decode(env.Aggregate)
 		return err
