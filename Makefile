@@ -56,22 +56,28 @@ cache-surgery:
 	./scripts/cache-surgery.sh
 
 # reduce-gate proves the memoized explorer equivalent on the real
-# experiments: E2 and E15 run exhaustively and with `figures -reduce`
-# must emit byte-identical tables in every format while visiting
-# strictly fewer states than they account executions, with execution
-# counts pinned to the committed BENCH_explore.json baseline (which
-# the gate rewrites with fresh counters and explore ns/op).
+# experiments: E2 and E15 run exhaustively, with serial `figures
+# -reduce`, and with the parallel `-reduce -jobs 4` path, and must
+# emit byte-identical tables in every format while visiting strictly
+# fewer states than they account executions; the parallel arm must
+# share memo entries across its prefix ranges. The reduced-only heavy
+# sweep E16 gates serial-memo against parallel-memo the same way.
+# Execution counts are pinned to the committed BENCH_explore.json
+# baseline (which the gate rewrites with fresh counters and ns/op).
 reduce-gate:
 	./scripts/reduce-gate.sh
 
 # fuzz-smoke runs each fuzz target briefly: arbitrary bytes must never
 # panic the results decoder, the cache read path, the canonical-state
-# fingerprint, or the prefixes-to-memoized-exploration pipeline.
+# fingerprint, or the prefixes-to-memoized-exploration pipeline, and
+# random (system, workers, carve) points must keep the parallel memo
+# byte-identical to the serial one.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeJSON$$' -fuzztime=10s ./internal/experiments
 	$(GO) test -run='^$$' -fuzz='^FuzzCacheGet$$' -fuzztime=10s ./internal/cache
 	$(GO) test -run='^$$' -fuzz='^FuzzCanonicalState$$' -fuzztime=10s ./internal/memory
 	$(GO) test -run='^$$' -fuzz='^FuzzPrefixesMemoExplore$$' -fuzztime=10s ./internal/experiments
+	$(GO) test -run='^$$' -fuzz='^FuzzMemoParallelDeterminism$$' -fuzztime=10s ./internal/sched
 
 figures:
 	$(GO) run ./cmd/figures

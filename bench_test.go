@@ -411,6 +411,33 @@ func BenchmarkExploreMemoized(b *testing.B) {
 	b.ReportMetric(float64(stats.StatesPruned), "states_pruned")
 }
 
+// BenchmarkExploreMemoParallel measures the sharded concurrent memo
+// table over the same Algorithm 1 space BenchmarkExploreMemoized walks
+// serially: workers=1 is the serial reference (the parallel entry point
+// falls through to ExploreMemo), higher counts split the prefix ranges
+// across goroutines over one shared table. The states_shared metric
+// counts memo entries reused across ranges — the cross-worker savings
+// the shared table buys over independent per-range memos. On a
+// single-core host the ns/op lines coincide; the speedup column in
+// BENCH_explore.json reads workers=8 against workers=1 either way.
+func BenchmarkExploreMemoParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var stats sched.MemoStats
+			for i := 0; i < b.N; i++ {
+				_, s, err := agreement.ExploreAlg1MemoParallel(4, [2]uint64{0, 1}, workers, nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = s
+			}
+			b.ReportMetric(float64(stats.Executions), "executions")
+			b.ReportMetric(float64(stats.Replays), "replays")
+			b.ReportMetric(float64(stats.StatesShared), "states_shared")
+		})
+	}
+}
+
 // BenchmarkSchedHandshake measures the raw cost of one scheduler-gated
 // step (the simulator's unit of work).
 func BenchmarkSchedHandshake(b *testing.B) {

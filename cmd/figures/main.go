@@ -41,13 +41,18 @@
 // sharded run of the same space executes zero explorations anywhere.
 //
 // -reduce runs the reduced-capable experiments (E2's and E15's
-// exhaustive schedule sweeps) through the canonical-state memoized
-// explorer instead of replaying every interleaving: the output bytes
-// are identical in every format, and one stderr line per reduced
-// experiment reports the explorer's counters (states visited, subtrees
-// pruned, replays performed vs executions accounted). It is a local
-// engine mode, so it cannot combine with -workers — sharded ranges
-// keep their exhaustive byte-identical contract.
+// exhaustive schedule sweeps, plus the opt-in heavy E16 — the k=5
+// Algorithm 1 sweep that only exists in reduced form) through the
+// canonical-state memoized explorer instead of replaying every
+// interleaving: the output bytes are identical in every format, and
+// one stderr line per reduced experiment reports the explorer's
+// counters (states visited, subtrees pruned, replays performed vs
+// executions accounted, worker fan-out, memo entries shared across
+// prefix ranges). -jobs doubles as the explorer's worker count: jobs
+// above one split the carved prefix ranges across goroutines over one
+// shared memo table, same bytes at every level. It is a local engine
+// mode, so it cannot combine with -workers — sharded ranges keep
+// their exhaustive byte-identical contract.
 //
 // -param evaluates one experiment family at one point of its
 // parameter space instead of the fixed registry point: -run must name
@@ -139,6 +144,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for _, id := range experiments.IDs() {
 			fmt.Fprintln(stdout, id)
 		}
+		// Heavy experiments run only when named in -run; the default
+		// sweep skips them.
+		for _, id := range experiments.HeavyIDs() {
+			fmt.Fprintf(stdout, "%s (heavy, opt-in)\n", id)
+		}
 		return nil
 	}
 
@@ -204,7 +214,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		reg = experiments.Registry()
 	}
 	for _, id := range ids {
-		if _, ok := reg[id]; !ok {
+		if _, ok := reg[id]; ok {
+			continue
+		}
+		// Heavy opt-in ids (E16) resolve only against the real registry,
+		// mirroring the engine's HeavyFor rule.
+		if _, ok := experiments.HeavyFor(testRegistry)[id]; !ok {
 			return fmt.Errorf("unknown experiment %q", id)
 		}
 	}
@@ -268,8 +283,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if !r.Reduced {
 				continue
 			}
-			fmt.Fprintf(stderr, "figures: reduce %s visited=%d pruned=%d replays=%d executions=%d\n",
-				r.ID, r.Memo.StatesVisited, r.Memo.StatesPruned, r.Memo.Replays, r.Memo.Executions)
+			fmt.Fprintf(stderr, "figures: reduce %s visited=%d pruned=%d replays=%d executions=%d workers=%d shared=%d\n",
+				r.ID, r.Memo.StatesVisited, r.Memo.StatesPruned, r.Memo.Replays, r.Memo.Executions,
+				r.Memo.Workers, r.Memo.StatesShared)
 		}
 	}
 	// The hit-rate line counts this process's own store: local-run

@@ -233,9 +233,14 @@ func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}, &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.Fields(out.String())
-	if len(lines) != 15 || lines[0] != "E1" || lines[14] != "E15" {
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 16 || lines[0] != "E1" || lines[14] != "E15" {
 		t.Fatalf("-list = %v", lines)
+	}
+	// Heavy opt-in ids follow the default sweep, tagged so nobody runs
+	// them by accident.
+	if lines[15] != "E16 (heavy, opt-in)" {
+		t.Fatalf("heavy line = %q", lines[15])
 	}
 }
 

@@ -9,10 +9,12 @@
 //	         [-peers host1:port,host2:port] [-debug-addr host:port]
 //	         [-reduce]
 //
-// With -reduce, reduced-capable experiments (E2, E15) execute through
-// the canonical-state memoized explorer wherever this process runs the
-// engine — directly, or as the local fallback of a -peers fleet. The
-// served bytes are identical; the explorer's accumulated counters
+// With -reduce, reduced-capable experiments (E2, E15, and the opt-in
+// heavy E16) execute through the canonical-state memoized explorer
+// wherever this process runs the engine — directly, or as the local
+// fallback of a -peers fleet — fanned out across GOMAXPROCS workers
+// over one shared memo table. The served bytes are identical; the
+// explorer's accumulated counters (states_shared and workers included)
 // appear in the /stats exploration section. Prefix slices are
 // unaffected: sharded ranges keep their exhaustive contract.
 //

@@ -262,7 +262,15 @@ func ExploreAlg1Memo(k int, inputs [2]uint64, leaf func(*Alg1Run) any, merge fun
 // of a distributed run owns. The memoized union over any partition of
 // Alg1Roots equals the exhaustive whole-tree aggregate.
 func ExploreAlg1MemoPrefixes(k int, inputs [2]uint64, roots [][]int, leaf func(*Alg1Run) any, merge func(a, b any) any) (any, sched.MemoStats, error) {
-	factory := func() sched.MemoInstance {
+	return sched.ExploreMemoPrefixes(alg1MemoFactory(k, inputs, leaf), sched.MemoOptions{Merge: merge}, roots)
+}
+
+// alg1MemoFactory builds the MemoInstance factory the memoized
+// explorers (serial and parallel) share: a fresh Algorithm 1 run per
+// instance, fingerprinted by the memory's canonical (relabelling-
+// reduced) key, with leaf wrapped to see the current run.
+func alg1MemoFactory(k int, inputs [2]uint64, leaf func(*Alg1Run) any) func() sched.MemoInstance {
+	return func() sched.MemoInstance {
 		cur, procs := newAlg1Run(k, inputs)
 		inst := sched.MemoInstance{
 			Procs: procs,
@@ -277,7 +285,25 @@ func ExploreAlg1MemoPrefixes(k int, inputs [2]uint64, roots [][]int, leaf func(*
 		}
 		return inst
 	}
-	return sched.ExploreMemoPrefixes(factory, sched.MemoOptions{Merge: merge}, roots)
+}
+
+// ExploreAlg1MemoParallel is ExploreAlg1Memo across workers goroutines
+// sharing one concurrent memo table (sched.ExploreMemoParallel): the
+// same aggregate and execution count, byte-identical to the serial
+// memo and to the exhaustive sweep, with the replays spread over
+// cores. leaf and merge keep the memo contract and must additionally
+// be safe to call from concurrent workers (leaf receives a worker-
+// private Alg1Run, so pure extractors — the normal shape — qualify
+// as-is). workers <= 0 means sched.DefaultExploreWorkers.
+func ExploreAlg1MemoParallel(k int, inputs [2]uint64, workers int, leaf func(*Alg1Run) any, merge func(a, b any) any) (any, sched.MemoStats, error) {
+	return sched.ExploreMemoParallel(alg1MemoFactory(k, inputs, leaf), sched.MemoOptions{Merge: merge}, workers)
+}
+
+// ExploreAlg1MemoParallelPrefixes is ExploreAlg1MemoPrefixes across
+// workers goroutines sharing one memo table
+// (sched.ExploreMemoParallelPrefixes).
+func ExploreAlg1MemoParallelPrefixes(k int, inputs [2]uint64, workers int, roots [][]int, leaf func(*Alg1Run) any, merge func(a, b any) any) (any, sched.MemoStats, error) {
+	return sched.ExploreMemoParallelPrefixes(alg1MemoFactory(k, inputs, leaf), sched.MemoOptions{Merge: merge}, workers, roots)
 }
 
 // Alg1Roots enumerates the live schedule prefixes of the Algorithm 1

@@ -1,0 +1,64 @@
+package agreement
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched/schedtest"
+)
+
+// TestAlg1MemoParallelMatchesExhaustive extends the memoized
+// differential grid across worker counts: the parallel memo's
+// fingerprint multiset and execution count equal the exhaustive
+// sweep's — and the serial memo's — for jobs ∈ {1, 2, 8}.
+func TestAlg1MemoParallelMatchesExhaustive(t *testing.T) {
+	leaf := func(ar *Alg1Run) any { return schedtest.Counts{alg1FP(ar): 1} }
+	for _, tc := range alg1MemoGrid() {
+		name := fmt.Sprintf("k%d_in%d%d", tc.k, tc.inputs[0], tc.inputs[1])
+		t.Run(name, func(t *testing.T) {
+			want, runs := alg1Exhaustive(t, tc.k, tc.inputs)
+			for _, workers := range []int{1, 2, 8} {
+				agg, stats, err := ExploreAlg1MemoParallel(tc.k, tc.inputs, workers, leaf, schedtest.Merge)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if d := schedtest.Diff(schedtest.AsCounts(agg), want); d != "" {
+					t.Fatalf("workers=%d: multisets diverge:\n%s", workers, d)
+				}
+				if stats.Executions != runs {
+					t.Fatalf("workers=%d: %d executions accounted, exhaustive ran %d", workers, stats.Executions, runs)
+				}
+			}
+		})
+	}
+}
+
+// TestAlg1MemoParallelPrefixUnion pins the parallel memo over the
+// Alg1Roots carve at several depths, including the cross-range
+// sharing counter on a multi-range carve.
+func TestAlg1MemoParallelPrefixUnion(t *testing.T) {
+	k, inputs := 2, [2]uint64{0, 1}
+	want, runs := alg1Exhaustive(t, k, inputs)
+	leaf := func(ar *Alg1Run) any { return schedtest.Counts{alg1FP(ar): 1} }
+	for _, depth := range []int{0, 2, 4} {
+		roots, err := Alg1Roots(k, inputs, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			agg, stats, err := ExploreAlg1MemoParallelPrefixes(k, inputs, workers, roots, leaf, schedtest.Merge)
+			if err != nil {
+				t.Fatalf("depth %d workers %d: %v", depth, workers, err)
+			}
+			if d := schedtest.Diff(schedtest.AsCounts(agg), want); d != "" {
+				t.Fatalf("depth %d workers %d: union diverges:\n%s", depth, workers, d)
+			}
+			if stats.Executions != runs {
+				t.Fatalf("depth %d workers %d: %d executions, want %d", depth, workers, stats.Executions, runs)
+			}
+			if depth == 4 && stats.Workers > 1 && stats.StatesShared == 0 {
+				t.Errorf("depth %d workers %d: no cross-range sharing on a %d-range carve", depth, workers, len(roots))
+			}
+		}
+	}
+}

@@ -104,6 +104,12 @@ func Run(ctx context.Context, opts Options) ([]Result, error) {
 	for i, id := range ids {
 		r, ok := reg[id]
 		if !ok {
+			// Heavy experiments resolve only when named explicitly —
+			// the default sweep above (sortIDs over the registry) never
+			// includes them — and only against the real registry.
+			r, ok = HeavyFor(opts.Registry)[id]
+		}
+		if !ok {
 			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 		}
 		runners[i] = r
@@ -145,13 +151,22 @@ func Run(ctx context.Context, opts Options) ([]Result, error) {
 func runCached(ctx context.Context, id string, r Runner, opts Options) Result {
 	if opts.Reduce {
 		if rr, ok := Reduced()[id]; ok {
+			// The memo explorer fans out over Jobs worker goroutines
+			// (<= 0 means GOMAXPROCS, the Options.Jobs default): -jobs
+			// controls both the experiment-level pool and, in reduced
+			// mode, the intra-exploration parallelism. Bytes are
+			// identical at every worker count.
+			workers := opts.Jobs
+			if workers <= 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
 			// The stats channel is buffered and written before the
 			// wrapped runner returns, so a successful runOne implies the
 			// value is already there; on timeout or cancellation it is
 			// simply never read.
 			statsCh := make(chan sched.MemoStats, 1)
 			wrapped := func() (*Table, error) {
-				tab, stats, err := rr()
+				tab, stats, err := rr(workers)
 				statsCh <- stats
 				return tab, err
 			}

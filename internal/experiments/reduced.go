@@ -8,25 +8,31 @@ import (
 
 // This file is the reduced-exploration seam: the experiments whose
 // exhaustive schedule sweeps can run through the canonical-state
-// memoized explorer (sched.ExploreMemo) instead of replaying every
-// interleaving. A reduced runner must render *exactly* the bytes its
-// exhaustive twin renders — it feeds the same aggregate into the same
-// finish path — and additionally reports the explorer's counters, the
-// observability the -reduce CLI flag and the server's /stats section
-// surface. Reduction is opt-in per experiment (Options.Reduce) and
-// never changes the Shardable partial-run forms: sharded ranges keep
-// their exhaustive byte-identical contract.
+// memoized explorer (sched.ExploreMemo / sched.ExploreMemoParallel)
+// instead of replaying every interleaving. A reduced runner must
+// render *exactly* the bytes its exhaustive twin renders — it feeds
+// the same aggregate into the same finish path — and additionally
+// reports the explorer's counters, the observability the -reduce CLI
+// flag and the server's /stats section surface. Reduction is opt-in
+// per experiment (Options.Reduce) and never changes the Shardable
+// partial-run forms: sharded ranges keep their exhaustive
+// byte-identical contract.
 
 // ReducedRunner produces the same table as the experiment's Runner,
-// plus the memoized exploration's counters.
-type ReducedRunner func() (*Table, sched.MemoStats, error)
+// plus the memoized exploration's counters. workers is the memo
+// explorer's goroutine fan-out: 1 runs the serial explorer, > 1 the
+// sharded-table parallel one, <= 0 sched.DefaultExploreWorkers. The
+// table bytes are identical at every worker count.
+type ReducedRunner func(workers int) (*Table, sched.MemoStats, error)
 
 // Reduced returns the experiments that support the memoized
-// exploration mode, by id: the two exhaustive schedule sweeps.
+// exploration mode, by id: the two exhaustive schedule sweeps, plus
+// the reduced-only heavy sweeps (Heavy()).
 func Reduced() map[string]ReducedRunner {
 	return map[string]ReducedRunner{
 		"E2":  Figure2ExecutionsReduced,
 		"E15": Theorem12ExhaustiveReduced,
+		"E16": AlgK5SweepReduced,
 	}
 }
 
@@ -66,9 +72,9 @@ func mergeAlg1Agg(a, b any) any {
 // Figure2ExecutionsReduced is E2 through the memoized explorer: the
 // same aggregate-and-finish path as Figure2Executions, with pruned
 // subtrees contributing their memoized aggregates instead of being
-// replayed.
-func Figure2ExecutionsReduced() (*Table, sched.MemoStats, error) {
-	agg, stats, err := agreement.ExploreAlg1Memo(e2K, e2Inputs, alg1LeafAgg, mergeAlg1Agg)
+// replayed — across workers goroutines when workers > 1.
+func Figure2ExecutionsReduced(workers int) (*Table, sched.MemoStats, error) {
+	agg, stats, err := agreement.ExploreAlg1MemoParallel(e2K, e2Inputs, workers, alg1LeafAgg, mergeAlg1Agg)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -84,12 +90,12 @@ func Figure2ExecutionsReduced() (*Table, sched.MemoStats, error) {
 // every visited execution validated by task.CheckRun, pruned subtrees
 // vouched for by their memoized twins, and the exhaustive execution
 // count recovered from the explorer's accounting.
-func Theorem12ExhaustiveReduced() (*Table, sched.MemoStats, error) {
+func Theorem12ExhaustiveReduced(workers int) (*Table, sched.MemoStats, error) {
 	plan, err := e15Plan(e15Choice)
 	if err != nil {
 		return nil, sched.MemoStats{}, err
 	}
-	stats, err := task.ExploreAlg2Memo(plan, e15Input)
+	stats, err := task.ExploreAlg2MemoParallel(plan, e15Input, workers)
 	if err != nil {
 		return nil, stats, err
 	}

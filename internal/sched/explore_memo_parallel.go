@@ -1,0 +1,484 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file parallelizes the memoized explorer (explore_memo.go):
+// worker goroutines fan out over disjoint schedule-prefix ranges from
+// the PartitionRoots carve, all sharing one concurrent memo table so a
+// canonical state explored under one range is reused — not re-explored
+// — under every other. The table is lock-striped (memoStripes shards,
+// hash-distributed by key) and each entry has once-semantics via a
+// claim-then-publish protocol:
+//
+//   - The first worker to probe a (state, depth) key *claims* it: an
+//     unpublished slot with an open done channel is inserted, and the
+//     claimer explores the subtree itself.
+//   - A later prober finds the slot and *awaits* its done channel; on
+//     publish it adopts the entry exactly as a serial memo hit would.
+//   - The claimer publishes the completed entry (contribution + leaf
+//     count) by closing the channel, on its bottom-up walk.
+//
+// Deadlock-freedom: claims are made at strictly increasing depths
+// along a replay, and a frame only awaits keys at depths strictly
+// *above* every claim it still holds unpublished (its own claims sit
+// at shallower depths of the same path; sibling descents claim only
+// deeper keys). Every await edge therefore strictly increases in
+// depth, so the waits-for graph is acyclic. Terminal keys are never
+// claimed-in-progress — they are published atomically on insert —
+// and an exploration error closes the abort channel, waking every
+// waiter.
+//
+// Determinism: a published entry is a function of its (canonical
+// state, depth) key alone, whichever worker computed it, and Merge is
+// pure and order-insensitive up to the final aggregate's equality
+// (the MemoOptions contract). Per-range results are merged in root
+// index order, so the final aggregate — and the bytes rendered from
+// it — are identical to the serial memo's and to the exhaustive
+// explorer's, even though halt points and the visited/pruned/shared
+// counters are timing-dependent. Executions is exact: every leaf is
+// accounted once, whichever range reached its subtree first.
+
+// memoStripes is the number of lock stripes in the shared memo table.
+// A power of two well above any plausible worker count, so stripes
+// rarely contend.
+const memoStripes = 64
+
+// memoCarve* bound the automatic prefix carve of ExploreMemoParallel:
+// the cut depth is deepened until the carve yields at least
+// memoCarveFactor roots per worker (so range sizes average out) or
+// the depth cap is hit.
+const (
+	memoCarveFactor   = 4
+	memoCarveDepthCap = 8
+)
+
+// errMemoAborted is the internal sentinel a worker returns when it was
+// woken by the abort channel: the real error is already recorded, this
+// frame just unwinds.
+var errMemoAborted = errors.New("sched: memo exploration aborted")
+
+// memoClosed is a pre-closed channel for entries published on insert
+// (terminal states), so awaiting them never blocks.
+var memoClosed = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// memoSlot is one entry of the shared table. entry is written exactly
+// once, before done is closed; readers load it only after <-done, so
+// the channel close is the publication barrier.
+type memoSlot struct {
+	done  chan struct{}
+	owner int // root-range index of the claiming worker
+	entry memoEntry
+}
+
+// memoStripe is one lock stripe of the shared table.
+type memoStripe struct {
+	mu sync.Mutex
+	m  map[memoKey]*memoSlot
+}
+
+// memoTable is the sharded concurrent memo: memoStripes independent
+// map+mutex stripes, plus the abort channel that wakes awaiting
+// workers when any range fails.
+type memoTable struct {
+	stripes [memoStripes]memoStripe
+	abort   chan struct{}
+}
+
+func newMemoTable() *memoTable {
+	t := &memoTable{abort: make(chan struct{})}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[memoKey]*memoSlot)
+	}
+	return t
+}
+
+// stripe picks the lock stripe for a key. StateKey is already
+// avalanche-mixed (MixKey), so folding in the depth with an odd
+// multiplier distributes (state, depth) pairs evenly.
+func (t *memoTable) stripe(k memoKey) *memoStripe {
+	h := uint64(k.state) ^ uint64(k.depth)*0x9e3779b97f4a7c15
+	return &t.stripes[h&(memoStripes-1)]
+}
+
+// lookupOrClaim returns the key's slot and whether this caller claimed
+// it. A claimed slot MUST eventually be published (or the exploration
+// aborted) — awaiting workers block on it.
+func (t *memoTable) lookupOrClaim(k memoKey, owner int) (slot *memoSlot, claimed bool) {
+	s := t.stripe(k)
+	s.mu.Lock()
+	if slot = s.m[k]; slot != nil {
+		s.mu.Unlock()
+		return slot, false
+	}
+	slot = &memoSlot{done: make(chan struct{}), owner: owner}
+	s.m[k] = slot
+	s.mu.Unlock()
+	return slot, true
+}
+
+// publish completes a claimed slot: entry becomes visible to every
+// awaiter, exactly once.
+func (t *memoTable) publish(slot *memoSlot, e memoEntry) {
+	slot.entry = e
+	close(slot.done)
+}
+
+// putTerminal stores a completed leaf's entry if the key is absent,
+// already published (terminal keys have no subtree to await). Reports
+// whether the insert happened.
+func (t *memoTable) putTerminal(k memoKey, e memoEntry, owner int) bool {
+	s := t.stripe(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = &memoSlot{done: memoClosed, owner: owner, entry: e}
+	return true
+}
+
+// await blocks until the slot publishes or the exploration aborts.
+// The second return is false only on abort.
+func (t *memoTable) await(slot *memoSlot) (memoEntry, bool) {
+	select {
+	case <-slot.done:
+		return slot.entry, true
+	case <-t.abort:
+		// The slot may have published concurrently with the abort;
+		// prefer the real entry when both are ready.
+		select {
+		case <-slot.done:
+			return slot.entry, true
+		default:
+			return memoEntry{}, false
+		}
+	}
+}
+
+// memoParProbe is the parallel analogue of memoProbe: it forces the
+// prefix, claims every new (state, depth) key on the path, and halts
+// on a hit — awaiting the entry if another worker is still exploring
+// that subtree.
+type memoParProbe struct {
+	replay  Replay
+	state   func() StateKey
+	table   *memoTable
+	owner   int
+	from    int
+	depth   int
+	keys    []StateKey  // keys[d-from] is the state before decision d
+	claimed []*memoSlot // claimed[d-from] is its unpublished slot
+	hit     bool
+	shared  bool // the hit entry was published by another range
+	entry   memoEntry
+	aborted bool
+}
+
+func (m *memoParProbe) Next(enabled []int) Decision {
+	if m.depth >= m.from {
+		k := m.state()
+		slot, claimed := m.table.lookupOrClaim(memoKey{state: k, depth: m.depth}, m.owner)
+		if !claimed {
+			entry, ok := m.table.await(slot)
+			if !ok {
+				m.aborted = true
+				return Decision{Pid: Halt}
+			}
+			m.hit = true
+			m.shared = slot.owner != m.owner
+			m.entry = entry
+			return Decision{Pid: Halt}
+		}
+		m.keys = append(m.keys, k)
+		m.claimed = append(m.claimed, slot)
+	}
+	m.depth++
+	return m.replay.Next(enabled)
+}
+
+// memoWorkerPools is one worker's free lists: the serial explorer's
+// Result/runner recycling plus prefix buffers, per worker so the hot
+// replay path never crosses a lock.
+type memoWorkerPools struct {
+	freeRes []*Result
+	freeRun []*runner
+	freeBuf [][]int
+}
+
+func (w *memoWorkerPools) getRes() *Result {
+	if k := len(w.freeRes); k > 0 {
+		r := w.freeRes[k-1]
+		w.freeRes = w.freeRes[:k-1]
+		return r
+	}
+	return &Result{}
+}
+
+func (w *memoWorkerPools) getRun(n int) *runner {
+	if k := len(w.freeRun); k > 0 {
+		r := w.freeRun[k-1]
+		w.freeRun = w.freeRun[:k-1]
+		if r.n == n {
+			return r
+		}
+	}
+	return newRunner(n)
+}
+
+func (w *memoWorkerPools) getBuf(n int) []int {
+	if k := len(w.freeBuf); k > 0 {
+		b := w.freeBuf[k-1]
+		w.freeBuf = w.freeBuf[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]int, n)
+}
+
+func (w *memoWorkerPools) putBuf(b []int) {
+	w.freeBuf = append(w.freeBuf, b)
+}
+
+// memoParRun is one parallel exploration's shared state.
+type memoParRun struct {
+	factory func() MemoInstance
+	opts    MemoOptions
+	table   *memoTable
+
+	replays, visited, pruned, shared atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// fail records the first error and closes the abort channel, waking
+// every awaiting worker. Later errors (including the abort unwinds
+// the close itself triggers) are dropped.
+func (e *memoParRun) fail(err error) {
+	if err == nil {
+		return
+	}
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+		close(e.table.abort)
+	}
+	e.errMu.Unlock()
+}
+
+func (e *memoParRun) err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
+}
+
+func (e *memoParRun) aborted() bool {
+	select {
+	case <-e.table.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// mergeInto is the serial explorer's nil-tolerant merge; a missing
+// Merge on real contributions aborts the exploration.
+func (e *memoParRun) mergeInto(into, from any) any {
+	switch {
+	case from == nil:
+		return into
+	case into == nil:
+		return from
+	case e.opts.Merge == nil:
+		e.fail(errors.New("sched: MemoOptions.Merge is required to combine non-nil Leaf contributions"))
+		return into
+	default:
+		return e.opts.Merge(into, from)
+	}
+}
+
+// dfs is the serial explorer's bottom-up walk against the shared
+// table. Every claim this frame makes is published before it returns
+// nil error; on error the abort channel releases any awaiters.
+func (e *memoParRun) dfs(w *memoWorkerPools, owner int, prefix []int, seed bool) (any, int, error) {
+	inst := e.factory()
+	if inst.State == nil {
+		return nil, 0, errMemoState
+	}
+	probe := &memoParProbe{
+		replay: Replay{Prefix: prefix},
+		state:  inst.State,
+		table:  e.table,
+		owner:  owner,
+		from:   len(prefix),
+	}
+	res := w.getRes()
+	rn := w.getRun(len(inst.Procs))
+	if _, err := runInto(Config{Scheduler: probe, MaxSteps: e.opts.MaxSteps}, inst.Procs, res, rn); err != nil {
+		return nil, 0, err
+	}
+	e.replays.Add(1)
+	if probe.aborted {
+		return nil, 0, errMemoAborted
+	}
+	if seed && !replayedExactly(res, prefix) {
+		return nil, 0, fmt.Errorf("%w: %v", ErrPrefixNotLive, prefix)
+	}
+
+	top := len(res.Decisions)
+	var contrib any
+	var leaves int
+	if probe.hit {
+		e.pruned.Add(1)
+		if probe.shared {
+			e.shared.Add(1)
+		}
+		contrib, leaves = probe.entry.contrib, probe.entry.leaves
+	} else {
+		if inst.Leaf != nil {
+			contrib = inst.Leaf(res)
+		}
+		leaves = 1
+		if e.table.putTerminal(memoKey{state: inst.State(), depth: top}, memoEntry{contrib: contrib, leaves: leaves}, owner) {
+			e.visited.Add(1)
+		}
+	}
+
+	for i := top - 1; i >= len(prefix); i-- {
+		chosen := res.Decisions[i].Pid
+		for _, alt := range res.EnabledSets[i] {
+			if alt <= chosen {
+				continue
+			}
+			branch := w.getBuf(i + 1)
+			for j := 0; j < i; j++ {
+				branch[j] = res.Decisions[j].Pid
+			}
+			branch[i] = alt
+			sub, subLeaves, err := e.dfs(w, owner, branch, false)
+			w.putBuf(branch)
+			if err != nil {
+				return nil, 0, err
+			}
+			contrib = e.mergeInto(contrib, sub)
+			leaves += subLeaves
+		}
+		e.table.publish(probe.claimed[i-len(prefix)], memoEntry{contrib: contrib, leaves: leaves})
+		e.visited.Add(1)
+	}
+
+	w.freeRes = append(w.freeRes, res)
+	w.freeRun = append(w.freeRun, rn)
+	return contrib, leaves, nil
+}
+
+// ExploreMemoParallel is ExploreMemo fanned out over workers
+// goroutines: the schedule tree is carved into disjoint prefix ranges
+// (PartitionRoots, deepening the cut until there are enough roots to
+// balance), and the ranges are explored concurrently against one
+// shared memo table. workers <= 0 means DefaultExploreWorkers;
+// workers == 1 is exactly the serial ExploreMemo. The aggregate,
+// Executions, and the resulting output bytes are identical to the
+// serial memo's and to the exhaustive explorer's; Replays,
+// StatesVisited, StatesPruned, and StatesShared depend on timing.
+func ExploreMemoParallel(factory func() MemoInstance, opts MemoOptions, workers int) (any, MemoStats, error) {
+	if workers <= 0 {
+		workers = DefaultExploreWorkers()
+	}
+	if workers == 1 {
+		return ExploreMemo(factory, opts)
+	}
+	procs := func() []ProcFunc { return factory().Procs }
+	roots := [][]int{{}}
+	for depth := 1; len(roots) < memoCarveFactor*workers && depth <= memoCarveDepthCap; depth++ {
+		r, err := PartitionRoots(procs, opts.MaxSteps, depth)
+		if err != nil {
+			return nil, MemoStats{}, err
+		}
+		if len(r) == len(roots) && depth > 1 {
+			// Deepening stopped splitting: the tree is exhausted.
+			break
+		}
+		roots = r
+	}
+	return ExploreMemoParallelPrefixes(factory, opts, workers, roots)
+}
+
+// ExploreMemoParallelPrefixes is ExploreMemoPrefixes across workers
+// goroutines sharing one memo table. Roots follow the
+// ExploreMemoPrefixes contract (live, pairwise prefix-free); ranges
+// are handed to workers dynamically and their contributions merged in
+// root index order, so the aggregate is deterministic — byte-identical
+// to the serial memo over the same roots — while the visited/pruned/
+// shared counters remain timing-dependent. workers is clamped to
+// len(roots); workers <= 1 (after clamping) runs serially.
+func ExploreMemoParallelPrefixes(factory func() MemoInstance, opts MemoOptions, workers int, roots [][]int) (any, MemoStats, error) {
+	if workers <= 0 {
+		workers = DefaultExploreWorkers()
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	if workers <= 1 {
+		return ExploreMemoPrefixes(factory, opts, roots)
+	}
+
+	e := &memoParRun{factory: factory, opts: opts, table: newMemoTable()}
+	type rangeOut struct {
+		contrib any
+		leaves  int
+	}
+	outs := make([]rangeOut, len(roots))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pools := &memoWorkerPools{}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(roots) || e.aborted() {
+					return
+				}
+				contrib, leaves, err := e.dfs(pools, i, roots[i], true)
+				if err != nil {
+					e.fail(err)
+					return
+				}
+				outs[i] = rangeOut{contrib: contrib, leaves: leaves}
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats := MemoStats{
+		Replays:       int(e.replays.Load()),
+		StatesVisited: int(e.visited.Load()),
+		StatesPruned:  int(e.pruned.Load()),
+		StatesShared:  int(e.shared.Load()),
+		Workers:       workers,
+	}
+	if err := e.err(); err != nil {
+		return nil, stats, err
+	}
+	var total any
+	for i := range outs {
+		total = e.mergeInto(total, outs[i].contrib)
+		stats.Executions += outs[i].leaves
+	}
+	if err := e.err(); err != nil {
+		return nil, stats, err
+	}
+	return total, stats, nil
+}

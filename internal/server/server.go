@@ -163,6 +163,12 @@ func New(opts Options) *Server {
 	reg := opts.Registry
 	if reg == nil {
 		reg = experiments.Registry()
+		// Heavy opt-in experiments (E16) are served on demand like any
+		// other id; they stay out of the default engine sweep because
+		// requests name experiments explicitly here.
+		for id, r := range experiments.Heavy() {
+			reg[id] = r
+		}
 	}
 	ids := make([]string, 0, len(reg))
 	for id := range reg {
@@ -649,9 +655,12 @@ func (s *Server) execute(reqID, id string) (experiments.Result, bool, error) {
 			res, err := s.backend(ctx, id)
 			return res, err
 		}
+		// Jobs <= 0 means GOMAXPROCS: irrelevant to this single-id run's
+		// experiment pool, but in reduced mode it is also the memoized
+		// explorer's worker fan-out, so the server's reduced runs scale
+		// across cores (bytes are worker-count-invariant).
 		results, err := experiments.Run(context.Background(), experiments.Options{
 			IDs:      []string{id},
-			Jobs:     1,
 			Timeout:  timeout,
 			Registry: s.reg,
 			Cache:    s.cache,

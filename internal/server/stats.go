@@ -69,12 +69,18 @@ type StatsResponse struct {
 // (sched.MemoStats) across the reduced runs this process executed —
 // the observability half of the reduced mode: executions accounted,
 // replays actually performed, and the visited/pruned state totals.
+// StatesShared counts memo entries reused across the parallel
+// explorer's prefix ranges (0 on serial runs); Workers sums each
+// run's goroutine fan-out, so workers/reduced_runs is the average
+// parallelism the reduced path actually got.
 type StatsExploration struct {
 	ReducedRuns   int64 `json:"reduced_runs"`
 	Executions    int64 `json:"executions"`
 	Replays       int64 `json:"replays"`
 	StatesVisited int64 `json:"states_visited"`
 	StatesPruned  int64 `json:"states_pruned"`
+	StatesShared  int64 `json:"states_shared"`
+	Workers       int64 `json:"workers"`
 }
 
 // StatsCache mirrors cache.Stats on the wire. The slice_* counters
@@ -151,6 +157,8 @@ func (s *Server) recordReduced(m sched.MemoStats) {
 	s.memoTotals.Replays += m.Replays
 	s.memoTotals.StatesVisited += m.StatesVisited
 	s.memoTotals.StatesPruned += m.StatesPruned
+	s.memoTotals.StatesShared += m.StatesShared
+	s.memoTotals.Workers += m.Workers
 }
 
 // explorationStats snapshots the reduced-run totals, nil before the
@@ -168,6 +176,8 @@ func (s *Server) explorationStats() *StatsExploration {
 		Replays:       int64(s.memoTotals.Replays),
 		StatesVisited: int64(s.memoTotals.StatesVisited),
 		StatesPruned:  int64(s.memoTotals.StatesPruned),
+		StatesShared:  int64(s.memoTotals.StatesShared),
+		Workers:       int64(s.memoTotals.Workers),
 	}
 }
 

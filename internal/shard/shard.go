@@ -289,6 +289,24 @@ type Coordinator struct {
 	rangesReassigned atomic.Int64
 }
 
+// defaultClient builds the coordinator's HTTP client when Options
+// leaves it nil: the default transport's dialer and keep-alive
+// settings, with the per-host idle pool widened to the per-worker
+// in-flight cap. The stock DefaultTransport keeps only 2 idle
+// connections per host, so a coordinator pushing maxInFlight
+// concurrent range fetches at one worker would close and re-dial the
+// rest of the burst on every wave; sizing the pool to the cap lets
+// the whole burst reuse warm connections.
+func defaultClient(maxInFlight int) *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = maxInFlight
+	if tr.MaxIdleConns < maxInFlight {
+		tr.MaxIdleConns = maxInFlight
+	}
+	tr.IdleConnTimeout = 90 * time.Second
+	return &http.Client{Transport: tr}
+}
+
 // New builds a coordinator over the given fleet and probes every
 // worker's health concurrently before returning. An unreachable
 // worker is not an error — it starts unhealthy and the coordinator
@@ -296,10 +314,6 @@ type Coordinator struct {
 func New(opts Options) (*Coordinator, error) {
 	if len(opts.Workers) == 0 {
 		return nil, fmt.Errorf("shard: no workers configured")
-	}
-	client := opts.Client
-	if client == nil {
-		client = &http.Client{}
 	}
 	reqTimeout := opts.RequestTimeout
 	if reqTimeout <= 0 {
@@ -312,6 +326,10 @@ func New(opts Options) (*Coordinator, error) {
 	maxInFlight := opts.MaxInFlight
 	if maxInFlight <= 0 {
 		maxInFlight = DefaultMaxInFlight
+	}
+	client := opts.Client
+	if client == nil {
+		client = defaultClient(maxInFlight)
 	}
 	retries := opts.Retries
 	if retries <= 0 {

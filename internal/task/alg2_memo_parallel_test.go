@@ -1,0 +1,64 @@
+package task
+
+import (
+	"testing"
+)
+
+// TestAlg2MemoParallelMatchesSerial pins the parallel validating sweep
+// to the serial one across worker counts: the identical execution
+// count (the E15 aggregate), every visited leaf validated, and
+// cross-range sharing on multi-range carves.
+func TestAlg2MemoParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration")
+	}
+	task := ChoiceTask(2)
+	plan := planFor(t, task)
+	input := task.Inputs[0]
+	whole, err := ExploreAlg2(plan, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		stats, err := ExploreAlg2MemoParallel(plan, input, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if stats.Executions != whole {
+			t.Fatalf("workers=%d: %d executions accounted, exhaustive ran %d", workers, stats.Executions, whole)
+		}
+	}
+	for _, depth := range []int{2, 4} {
+		roots, err := Alg2Roots(plan, input, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := ExploreAlg2MemoParallelPrefixes(plan, input, 4, roots)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if stats.Executions != whole {
+			t.Fatalf("depth %d: %d executions, want %d", depth, stats.Executions, whole)
+		}
+		if stats.Workers > 1 && stats.StatesShared == 0 {
+			t.Errorf("depth %d: no cross-range sharing over %d ranges", depth, len(roots))
+		}
+	}
+}
+
+// TestAlg2MemoParallelSurfacesViolation: a validation failure in any
+// worker's visited leaf fails the whole parallel sweep.
+func TestAlg2MemoParallelSurfacesViolation(t *testing.T) {
+	task := ChoiceTask(2)
+	plan := planFor(t, task)
+	input := task.Inputs[0]
+
+	bad := *task
+	bad.Delta = map[Pair][]Pair{}
+	doctored := *plan
+	doctored.Task = &bad
+
+	if _, err := ExploreAlg2MemoParallel(&doctored, input, 4); err == nil {
+		t.Fatal("parallel memoized sweep accepted a plan whose outputs are all illegal")
+	}
+}

@@ -2,18 +2,27 @@
 # reduce-gate: the deterministic equivalence gate for the memoized
 # explorer. Runs the two reduced-capable experiments (E2, the
 # exhaustive k=4 Algorithm 1 sweep; E15, the exhaustive Theorem 1.2
-# run) both exhaustively and with `figures -reduce`, and asserts:
+# run) exhaustively, with serial `figures -reduce`, and with the
+# parallel `figures -reduce -jobs 4` path, and asserts:
 #
-#   1. the tables are byte-identical in text, json, and csv;
+#   1. the tables are byte-identical in text, json, and csv across
+#      all three arms — exhaustive, serial memo, parallel memo;
 #   2. each reduced run visited strictly fewer states than it
 #      accounted executions, pruned at least one subtree, and
 #      replayed strictly fewer executions than it accounted
 #      (the counters come from the `figures: reduce <id> ...`
 #      stderr lines the CLI emits per reduced experiment);
-#   3. the accounted execution counts match the committed
-#      BENCH_explore.json baseline exactly — the execution count is
-#      part of the experiment's meaning, so a drift here is a
-#      correctness regression, not a perf change.
+#   3. the parallel arm really fanned out (workers=4) and really
+#      shared memo entries across its prefix ranges (shared > 0),
+#      while accounting exactly the serial arm's execution count;
+#   4. the accounted execution counts — including the reduced-only
+#      heavy experiment E16 (k=5 Algorithm 1 sweep) — match the
+#      committed BENCH_explore.json baseline exactly: the execution
+#      count is part of the experiment's meaning, so a drift here is
+#      a correctness regression, not a perf change.
+#
+# E16 has no exhaustive twin (that is its point), so its gate is
+# serial-memo vs parallel-memo byte-identity plus the pinned count.
 #
 # It then reruns the explore microbenchmarks and rewrites
 # BENCH_explore.json (counters + ns/op + speedup), so the committed
@@ -31,9 +40,11 @@ TIMEOUT=${TIMEOUT:-10m}
 # float exponent and rejects the whole filter.
 base_e2_execs=""
 base_e15_execs=""
+base_e16_execs=""
 if [ -f "$OUT" ]; then
   base_e2_execs=$(jq -r '.experiments["E2"].executions // empty' "$OUT" 2>/dev/null || true)
   base_e15_execs=$(jq -r '.experiments["E15"].executions // empty' "$OUT" 2>/dev/null || true)
+  base_e16_execs=$(jq -r '.experiments["E16"].executions // empty' "$OUT" 2>/dev/null || true)
 fi
 
 tmp=$(mktemp -d)
@@ -52,36 +63,53 @@ go build -o "$tmp/figures" ./cmd/figures
 
 # The exhaustive side runs cold once and serves the other two formats
 # from its own cache — the bytes are deterministic, re-exploring per
-# format would triple the slow half. The reduced side re-executes per
+# format would triple the slow half. The reduced sides re-execute per
 # format by design (reduced-capable experiments bypass the cache), so
 # every format's counter lines come from a real memoized exploration.
+# The -jobs 4 arm drives the parallel explorer: four workers over
+# carved prefix ranges sharing one memo table.
 for fmt in text json csv; do
   "$tmp/figures" -run E2,E15 -jobs 2 -timeout "$TIMEOUT" -format "$fmt" \
     -cache-dir "$tmp/cache" -o "$tmp/exhaustive.$fmt"
   "$tmp/figures" -run E2,E15 -timeout "$TIMEOUT" -format "$fmt" \
     -reduce -o "$tmp/reduced.$fmt" 2> "$tmp/reduce-$fmt.log"
+  "$tmp/figures" -run E2,E15 -jobs 4 -timeout "$TIMEOUT" -format "$fmt" \
+    -reduce -o "$tmp/reduced-par.$fmt" 2> "$tmp/reduce-par-$fmt.log"
   cmp "$tmp/exhaustive.$fmt" "$tmp/reduced.$fmt"
+  cmp "$tmp/exhaustive.$fmt" "$tmp/reduced-par.$fmt"
+  # E16 is reduced-only: the serial and parallel memo runs gate each
+  # other instead of an exhaustive twin.
+  "$tmp/figures" -run E16 -timeout "$TIMEOUT" -format "$fmt" \
+    -reduce -o "$tmp/e16-serial.$fmt" 2>> "$tmp/reduce-$fmt.log"
+  "$tmp/figures" -run E16 -jobs 4 -timeout "$TIMEOUT" -format "$fmt" \
+    -reduce -o "$tmp/e16-par.$fmt" 2>> "$tmp/reduce-par-$fmt.log"
+  cmp "$tmp/e16-serial.$fmt" "$tmp/e16-par.$fmt"
 done
 
 # One counter line per reduced experiment per run:
-#   figures: reduce E2 visited=242 pruned=126 replays=146 executions=22080
-counter() { # counter <id> <field>
-  awk -v id="$1" -v field="$2=" \
+#   figures: reduce E2 visited=227 pruned=142 replays=162 executions=22080 workers=4 shared=40
+counter() { # counter <log> <id> <field>
+  awk -v id="$2" -v field="$3=" \
     '$1 == "figures:" && $2 == "reduce" && $3 == id {
        for (i = 4; i <= NF; i++) if (index($i, field) == 1) {
          sub(field, "", $i); print $i; exit
        }
-     }' "$tmp/reduce-text.log"
+     }' "$tmp/$1"
 }
 
-declare -A visited pruned replays execs
-for id in E2 E15; do
-  visited[$id]=$(counter "$id" visited)
-  pruned[$id]=$(counter "$id" pruned)
-  replays[$id]=$(counter "$id" replays)
-  execs[$id]=$(counter "$id" executions)
+declare -A visited pruned replays execs par_execs par_workers par_shared
+for id in E2 E15 E16; do
+  visited[$id]=$(counter reduce-text.log "$id" visited)
+  pruned[$id]=$(counter reduce-text.log "$id" pruned)
+  replays[$id]=$(counter reduce-text.log "$id" replays)
+  execs[$id]=$(counter reduce-text.log "$id" executions)
+  par_execs[$id]=$(counter reduce-par-text.log "$id" executions)
+  par_workers[$id]=$(counter reduce-par-text.log "$id" workers)
+  par_shared[$id]=$(counter reduce-par-text.log "$id" shared)
   if [ -z "${visited[$id]}" ] || [ -z "${pruned[$id]}" ] ||
-     [ -z "${replays[$id]}" ] || [ -z "${execs[$id]}" ]; then
+     [ -z "${replays[$id]}" ] || [ -z "${execs[$id]}" ] ||
+     [ -z "${par_execs[$id]}" ] || [ -z "${par_workers[$id]}" ] ||
+     [ -z "${par_shared[$id]}" ]; then
     echo "reduce-gate: missing reduce counters for $id in reduce stderr" >&2
     exit 1
   fi
@@ -97,8 +125,24 @@ for id in E2 E15; do
     echo "reduce-gate: $id replayed ${replays[$id]}, memoization saved nothing over ${execs[$id]}" >&2
     exit 1
   fi
+  # The parallel arm must account exactly what the serial arm did:
+  # execution counts are deterministic; only the timing-dependent
+  # counters (replays, visited, shared) may move between runs.
+  if [ "${par_execs[$id]}" -ne "${execs[$id]}" ]; then
+    echo "reduce-gate: $id parallel accounted ${par_execs[$id]} executions, serial ${execs[$id]}" >&2
+    exit 1
+  fi
+  if [ "${par_workers[$id]}" -ne 4 ]; then
+    echo "reduce-gate: $id parallel ran workers=${par_workers[$id]}, want 4" >&2
+    exit 1
+  fi
+  if [ "${par_shared[$id]}" -eq 0 ]; then
+    echo "reduce-gate: $id parallel shared no memo entries across prefix ranges" >&2
+    exit 1
+  fi
   echo "reduce-gate: $id ${execs[$id]} executions accounted from ${replays[$id]} replays" \
-    "(${visited[$id]} states visited, ${pruned[$id]} pruned), tables byte-identical"
+    "(${visited[$id]} states visited, ${pruned[$id]} pruned;" \
+    "parallel workers=${par_workers[$id]} shared=${par_shared[$id]}), tables byte-identical"
 done
 
 # Execution counts are pinned to the committed baseline: they encode
@@ -112,18 +156,29 @@ if [ -n "$base_e15_execs" ] && [ "${execs[E15]}" -ne "$base_e15_execs" ]; then
   echo "reduce-gate: E15 accounted ${execs[E15]} executions, baseline says $base_e15_execs" >&2
   exit 1
 fi
+if [ -n "$base_e16_execs" ] && [ "${execs[E16]}" -ne "$base_e16_execs" ]; then
+  echo "reduce-gate: E16 accounted ${execs[E16]} executions, baseline says $base_e16_execs" >&2
+  exit 1
+fi
 if [ -z "$base_e2_execs" ]; then
   echo "reduce-gate: no committed baseline, skipping execution-count pin"
 fi
 
-# The throughput half: serial exhaustive vs memoized on the same E2
-# space. workers=1 is the apples-to-apples reference (the memoized
-# explorer is serial); the workers=N line still runs but is not read.
-go test -run='^$' -bench='^BenchmarkExplore(Parallel|Memoized)$' \
+# The throughput half: serial exhaustive vs memoized vs parallel memo
+# on the same E2 space. workers=1 is the apples-to-apples serial
+# reference; the parallel line reads workers=8. On a single-core host
+# the parallel speedup hovers around (or below) 1x — the byte-identity
+# and shared-entry gates above carry the correctness claim either way.
+go test -run='^$' -bench='^BenchmarkExplore(Parallel|Memoized|MemoParallel)$' \
   -benchtime=1x . | tee "$tmp/bench.txt"
 exhaustive_ns=$(awk '$1 ~ /^BenchmarkExploreParallel\/workers=1/ { print $3; exit }' "$tmp/bench.txt")
 memoized_ns=$(awk '$1 ~ /^BenchmarkExploreMemoized/ { print $3; exit }' "$tmp/bench.txt")
-if [ -z "$exhaustive_ns" ] || [ -z "$memoized_ns" ]; then
+parallel_ns=$(awk '$1 ~ /^BenchmarkExploreMemoParallel\/workers=8/ { print $3; exit }' "$tmp/bench.txt")
+parallel_shared=$(awk '$1 ~ /^BenchmarkExploreMemoParallel\/workers=8/ {
+  for (i = 4; i <= NF; i++) if ($i == "states_shared") { print $(i-1); exit }
+}' "$tmp/bench.txt")
+if [ -z "$exhaustive_ns" ] || [ -z "$memoized_ns" ] ||
+   [ -z "$parallel_ns" ] || [ -z "$parallel_shared" ]; then
   echo "reduce-gate: could not parse explore benchmark output" >&2
   exit 1
 fi
@@ -133,21 +188,32 @@ jq -n \
   --argjson e2_replays "${replays[E2]}" --argjson e2_execs "${execs[E2]}" \
   --argjson e15_visited "${visited[E15]}" --argjson e15_pruned "${pruned[E15]}" \
   --argjson e15_replays "${replays[E15]}" --argjson e15_execs "${execs[E15]}" \
+  --argjson e16_visited "${visited[E16]}" --argjson e16_pruned "${pruned[E16]}" \
+  --argjson e16_replays "${replays[E16]}" --argjson e16_execs "${execs[E16]}" \
   --argjson exhaustive_ns "$exhaustive_ns" --argjson memoized_ns "$memoized_ns" \
+  --argjson parallel_ns "$parallel_ns" --argjson parallel_shared "$parallel_shared" \
   '{
     experiments: {
       E2:  {executions: $e2_execs,  replays: $e2_replays,
             states_visited: $e2_visited,  states_pruned: $e2_pruned},
       E15: {executions: $e15_execs, replays: $e15_replays,
-            states_visited: $e15_visited, states_pruned: $e15_pruned}
+            states_visited: $e15_visited, states_pruned: $e15_pruned},
+      E16: {executions: $e16_execs, replays: $e16_replays,
+            states_visited: $e16_visited, states_pruned: $e16_pruned}
     },
     bench: {
       exhaustive_serial_ns_per_op: $exhaustive_ns,
       memoized_ns_per_op: $memoized_ns,
-      speedup: (($exhaustive_ns / $memoized_ns * 10 | round) / 10)
+      parallel_ns_per_op: $parallel_ns,
+      workers: 8,
+      states_shared: $parallel_shared,
+      speedup: (($exhaustive_ns / $memoized_ns * 10 | round) / 10),
+      parallel_speedup: (($memoized_ns / $parallel_ns * 10 | round) / 10)
     }
   }' > "$OUT"
 
 echo "reduce-gate: OK (E2 ${replays[E2]}/${execs[E2]} replays," \
   "E15 ${replays[E15]}/${execs[E15]} replays," \
-  "$(jq -r '.bench.speedup' "$OUT")x serial speedup) -> $OUT"
+  "E16 ${replays[E16]}/${execs[E16]} replays," \
+  "$(jq -r '.bench.speedup' "$OUT")x serial speedup," \
+  "$(jq -r '.bench.parallel_speedup' "$OUT")x parallel-over-memo at 8 workers) -> $OUT"
